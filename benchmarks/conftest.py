@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper via the
+experiment functions in :mod:`repro.bench.experiments`.  We run each
+experiment exactly once under pytest-benchmark (``rounds=1``): the
+numbers that matter are the *simulated* metrics inside the report, not
+the harness wall-clock, and many experiments are minutes-long sweeps.
+
+Every report is echoed to stdout (run with ``-s`` to see it live) and
+saved under ``results/`` so EXPERIMENTS.md can be assembled from the
+exact artefacts the suite produced.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+def run_experiment(benchmark, experiment_fn):
+    """Execute one experiment under the benchmark fixture and archive it."""
+    report = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)
+    print()
+    print(report)
+    report.save(RESULTS_DIR)
+    return report

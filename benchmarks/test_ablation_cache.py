@@ -1,0 +1,19 @@
+"""Ablation A — RCV cache vs LRU/FIFO (paper §7's design discussion).
+
+Expected shape: only the reference-counting policy guarantees a ready
+task's vertices survive until execution; LRU/FIFO evict them and force
+re-pulls."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_ablation_cache(benchmark):
+    report = run_experiment(benchmark, experiments.ablation_cache)
+    for app in ("gm", "mcf"):
+        rcv = report.data[f"{app} rcv"]
+        worst = max(
+            report.data[f"{app} lru"].stats["re_pulls"],
+            report.data[f"{app} fifo"].stats["re_pulls"],
+        )
+        assert rcv.stats["re_pulls"] <= max(10, 0.05 * worst), app

@@ -1,0 +1,19 @@
+"""Ablation C — checkpointing overhead and worker-failure recovery
+(paper §7).
+
+Expected shape: checkpointing costs little; a killed worker recovers
+from its snapshot and the job still produces the exact result."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_ablation_fault_tolerance(benchmark):
+    report = run_experiment(benchmark, experiments.ablation_fault_tolerance)
+    base = report.data["baseline"]
+    ckpt = report.data["ckpt"]
+    failure = report.data["failure"]
+    assert ckpt.value == base.value
+    assert failure.ok
+    assert len(failure.value) == len(base.value)
+    assert ckpt.total_seconds < base.total_seconds * 1.5

@@ -1,0 +1,18 @@
+"""Ablation D — cache sharing vs multi-process deployment (paper §5.1).
+
+Expected shape: the default single-process-per-node deployment (cache
+shared by all cores) keeps a higher hit rate and far less pull traffic
+than split per-process caches — the reason the paper deploys one
+worker per node."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_ablation_multiprocess(benchmark):
+    report = run_experiment(benchmark, experiments.ablation_multiprocess)
+    shared = report.data["1 process(es)"]
+    split = report.data["4 process(es)"]
+    assert shared.stats["cache_hit_rate"] > split.stats["cache_hit_rate"]
+    assert shared.stats["vertices_pulled"] < split.stats["vertices_pulled"]
+    assert shared.network_bytes < split.network_bytes

@@ -1,0 +1,15 @@
+"""Ablation B — recursive task splitting (the paper's §9 future work).
+
+Expected shape: splitting preserves exact results while creating more,
+finer tasks and improving parallelism on fan-out-heavy workloads."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_ablation_splitting(benchmark):
+    report = run_experiment(benchmark, experiments.ablation_splitting)
+    on, off = report.data["split-on"], report.data["split-off"]
+    assert on.value == off.value
+    assert on.stats["tasks_created"] > off.stats["tasks_created"]
+    assert on.total_seconds <= off.total_seconds * 1.05

@@ -1,0 +1,17 @@
+"""Figure 10 — scalability of the baseline systems on TC.
+
+Expected shape: the paper's point is the *absence* of a scaling
+guarantee — adding nodes does not reliably help these systems."""
+
+import math
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig10_baseline_scalability(benchmark):
+    report = run_experiment(benchmark, experiments.fig10_baseline_scalability)
+    for dataset, series in report.data.items():
+        for system, times in series.items():
+            finite = [t for t in times if not math.isnan(t)]
+            assert finite, f"{system} never completed on {dataset}"

@@ -1,0 +1,15 @@
+"""Figure 11 — BDG vs hash partitioning on MCF.
+
+Expected shape: BDG pays visible partitioning time but reduces network
+traffic; mining time stays competitive.  (The paper's total-time win
+is bounded at this scale — see the report's notes.)"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig11_bdg(benchmark):
+    report = run_experiment(benchmark, experiments.fig11_bdg)
+    for dataset, runs in report.data.items():
+        assert runs["bdg"].partition_seconds > runs["hash"].partition_seconds
+        assert runs["bdg"].network_bytes < runs["hash"].network_bytes, dataset

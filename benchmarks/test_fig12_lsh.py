@@ -1,0 +1,21 @@
+"""Figure 12 — the LSH-based task priority queue ablation.
+
+Expected shape: disabling LSH ordering lowers the cache hit rate /
+raises pull traffic and slows most cases (paper: up to 40% worse)."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig12_lsh(benchmark):
+    report = run_experiment(benchmark, experiments.fig12_lsh)
+    slower = sum(
+        1 for d in report.data.values()
+        if d["dis"].total_seconds > d["en"].total_seconds
+    )
+    more_pulls = sum(
+        1 for d in report.data.values()
+        if d["dis"].stats["vertices_pulled"] >= d["en"].stats["vertices_pulled"]
+    )
+    assert slower >= 3
+    assert more_pulls >= 3

@@ -1,0 +1,21 @@
+"""Figure 13 — the task-stealing ablation.
+
+Expected shape: dynamic load balancing helps (or at worst is neutral)
+on the skew that BDG-partitioned mining produces."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig13_stealing(benchmark):
+    report = run_experiment(benchmark, experiments.fig13_stealing)
+    helped = sum(
+        1 for d in report.data.values()
+        if d["en"].total_seconds <= d["dis"].total_seconds * 1.05
+    )
+    assert helped >= 4
+    migrated = sum(d["en"].stats["tasks_migrated"] for d in report.data.values())
+    assert migrated > 0
+    # the task-rich TC workload shows the paper's clear speedup
+    tc = report.data["tc-orkut-s"]
+    assert tc["dis"].total_seconds > tc["en"].total_seconds * 1.2

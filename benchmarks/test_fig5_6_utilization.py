@@ -1,0 +1,16 @@
+"""Figures 5 & 6 — CPU/network/disk utilisation timelines of the
+G-thinker-like system vs G-Miner running GM on Friendster.
+
+Expected shape: G-Miner's pipeline keeps CPU continuously busy while
+the batch system alternates compute bursts with network-bound troughs."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig5_6_utilization(benchmark):
+    report = run_experiment(benchmark, experiments.fig5_6_utilization)
+    _, gthinker = report.data["gthinker"]
+    _, gminer = report.data["gminer"]
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(gminer["cpu"]) > mean(gthinker["cpu"])

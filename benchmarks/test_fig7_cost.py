@@ -1,0 +1,18 @@
+"""Figure 7 — the COST metric [19]: cores needed for G-Miner on one
+node to beat an optimised single thread.
+
+Expected shape: COST of 2-4 cores (paper: 2-3) on at least three of
+the four workload/dataset cases."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig7_cost(benchmark):
+    report = run_experiment(benchmark, experiments.fig7_cost)
+    cost = report.data["cost"]
+    low = [k for k, v in cost.items() if v is not None and v <= 4]
+    assert len(low) >= 3
+    # adding cores never makes a case slower by more than noise
+    for name, times in report.data["series"].items():
+        assert times[-1] <= times[0] * 1.05

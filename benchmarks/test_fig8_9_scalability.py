@@ -1,0 +1,21 @@
+"""Figures 8 & 9 — vertical (cores/node) and horizontal (nodes)
+scalability of G-Miner on Friendster (MCF and GM).
+
+Expected shape: more cores/node reduces elapsed time; more nodes does
+not hurt (gains flatten once resources exceed the scaled workload,
+which the paper also observes)."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_fig8_vertical(benchmark):
+    report = run_experiment(benchmark, experiments.fig8_vertical)
+    for name, times in report.data.items():
+        assert times[-1] < times[0], name
+
+
+def test_fig9_horizontal(benchmark):
+    report = run_experiment(benchmark, experiments.fig9_horizontal)
+    for name, times in report.data.items():
+        assert times[-1] <= times[0] * 1.2, name

@@ -1,0 +1,21 @@
+"""Table 1 — motivation: MCF on Orkut across five systems plus a
+single-threaded baseline (paper §3).
+
+Expected shape: the single thread runs at 100% CPU; the vertex-centric
+and embedding systems fail (OOM / over the limit); the two
+subgraph-centric systems succeed, with G-Miner fastest."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+from repro.core.job import JobStatus
+
+
+def test_table1_motivation(benchmark):
+    report = run_experiment(benchmark, experiments.table1_motivation)
+    data = report.data
+    assert data["single-thread"].cpu_utilization == 1.0
+    assert data["giraph"].status is JobStatus.OOM
+    assert data["graphx"].status is not JobStatus.OK
+    assert data["arabesque"].status is not JobStatus.OK
+    assert data["gthinker"].ok and data["gminer"].ok
+    assert data["gminer"].total_seconds < data["gthinker"].total_seconds

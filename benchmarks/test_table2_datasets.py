@@ -1,0 +1,11 @@
+"""Table 2 — dataset statistics of the scaled stand-ins."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_table2_datasets(benchmark):
+    report = run_experiment(benchmark, experiments.table2_datasets)
+    for name in ("skitter-s", "orkut-s", "btc-s", "friendster-s",
+                 "tencent-s", "dblp-s"):
+        assert name in report.rendered

@@ -1,0 +1,21 @@
+"""Table 4 — graph matching: G-Miner vs the G-thinker-like system.
+
+Expected shape: identical match counts; G-Miner faster, with higher
+CPU utilisation and less network traffic."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_table4_gm(benchmark):
+    report = run_experiment(benchmark, experiments.table4_gm)
+    for dataset, d in report.data.items():
+        assert d["gminer"].ok and d["gthinker"].ok, dataset
+        assert d["gminer"].value == d["gthinker"].value, dataset
+        assert d["gminer"].cpu_utilization > d["gthinker"].cpu_utilization
+        assert d["gminer"].network_bytes < d["gthinker"].network_bytes
+    faster = sum(
+        1 for d in report.data.values()
+        if d["gminer"].total_seconds < d["gthinker"].total_seconds
+    )
+    assert faster >= 3

@@ -1,0 +1,18 @@
+"""Table 5 — CD & GC, the heavy attributed workloads only G-Miner runs.
+
+Expected shape: every run completes within the (proportionally longer)
+budget and finds communities/clusters on the attributed datasets."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench import experiments
+
+
+def test_table5_cd_gc(benchmark):
+    report = run_experiment(benchmark, experiments.table5_cd_gc)
+    data = report.data
+    assert data["CD dblp-s"].ok and data["CD tencent-s"].ok
+    assert len(data["CD dblp-s"].value) > 0
+    assert len(data["CD tencent-s"].value) > 0
+    assert data["GC dblp-s"].ok and len(data["GC dblp-s"].value) > 0
+    completed = sum(1 for r in data.values() if r.ok)
+    assert completed >= 7  # of 9 runs

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Scenario: writing your own G-Miner application (Listing 1/2 style).
+
+Implements **k-core membership mining** from scratch on the public
+API — an algorithm that ships with neither the paper nor this library:
+for every seed vertex, decide whether it belongs to the k-core (the
+maximal subgraph where every member has ≥ k neighbours inside it).
+
+The implementation shows the full Task contract: per-round ``update``,
+``pull`` for next-round candidates, ``charge`` for work accounting,
+shrink-style subgraph updates, and ``finish`` with a result.  It also
+demonstrates validation against an independent oracle.
+
+Run:  python examples/custom_application.py
+"""
+
+from typing import Dict, Optional, Set
+
+from repro.core import GMinerConfig, GMinerJob
+from repro.core.api import GMinerApp
+from repro.core.task import Task, TaskEnv
+from repro.graph.generators import planted_partition_graph
+from repro.graph.graph import Graph, VertexData
+from repro.sim.cluster import ClusterSpec
+
+K = 11  # the core order we mine
+
+
+class KCoreTask(Task):
+    """Decides k-core membership of its seed by iterative peeling.
+
+    The task grows a bounded neighbourhood (2 hops is enough to peel
+    locally at this k), then repeatedly removes vertices of degree < k
+    within the collected subgraph; the seed is in the k-core estimate
+    if it survives.  Rounds 1..2 pull; round 3 computes.
+    """
+
+    def __init__(self, seed: VertexData, k: int) -> None:
+        super().__init__(seed)
+        self.k = k
+        self.known: Dict[int, VertexData] = {seed.vid: seed}
+        if len(seed.neighbors) < k:
+            self.finish((seed.vid, False))  # degree < k: trivially out
+            return
+        self.pull(seed.neighbors)
+
+    def context_size(self) -> int:
+        return sum(16 + 8 * len(d.neighbors) for d in self.known.values())
+
+    def update(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> None:
+        self.known.update(cand_objs)
+        if self.round == 1:
+            frontier: Set[int] = set()
+            for data in cand_objs.values():
+                self.charge(len(data.neighbors))
+                frontier.update(data.neighbors)
+            self.pull(frontier - set(self.known))
+            return
+        # round 2: peel within the known 2-hop ball
+        alive = set(self.known)
+        changed = True
+        while changed:
+            changed = False
+            for vid in sorted(alive):
+                inside = sum(
+                    1 for u in self.known[vid].neighbors if u in alive
+                )
+                self.charge(len(self.known[vid].neighbors))
+                # boundary vertices keep their outside degree: only
+                # count them out when even their full degree is < k
+                boundary = any(
+                    u not in self.known for u in self.known[vid].neighbors
+                )
+                if inside < self.k and not boundary:
+                    alive.discard(vid)
+                    changed = True
+        for vid in alive:
+            self.subgraph.add_node(vid)
+        self.finish((self.seed.vid, self.seed.vid in alive))
+
+
+class KCoreApp(GMinerApp):
+    name = "kcore"
+
+    def __init__(self, k: int = K) -> None:
+        self.k = k
+
+    def make_task(self, vertex: VertexData) -> Optional[Task]:
+        return KCoreTask(vertex, self.k)
+
+    def combine_results(self, results):
+        return sorted(vid for vid, member in results if member)
+
+
+def kcore_oracle(graph: Graph, k: int) -> Set[int]:
+    """Classic global peeling, for validation."""
+    alive = set(graph.vertices())
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(alive):
+            if sum(1 for u in graph.neighbors(v) if u in alive) < k:
+                alive.discard(v)
+                changed = True
+    return alive
+
+
+def main() -> None:
+    graph, _ = planted_partition_graph(
+        num_communities=8, community_size=30, p_in=0.38, p_out=0.02, seed=11
+    )
+    config = GMinerConfig(cluster=ClusterSpec(num_nodes=4, cores_per_node=4))
+    result = GMinerJob(KCoreApp(K), graph, config).run()
+    mined = set(result.value)
+    oracle = kcore_oracle(graph, K)
+
+    print(f"graph: {graph}")
+    print(f"{K}-core size (G-Miner)        : {len(mined)}")
+    print(f"{K}-core size (global peeling) : {len(oracle)}")
+    # local 2-hop peeling over-approximates the true core (it cannot
+    # see far-away cascades), but never drops a true member:
+    missing = oracle - mined
+    extra = mined - oracle
+    print(f"true members missed           : {len(missing)} (must be 0)")
+    print(f"over-approximation            : {len(extra)} vertices")
+    print(f"simulated time                : {result.total_seconds:.3f}s, "
+          f"cpu {100 * result.cpu_utilization:.0f}%")
+    assert not missing, "a true k-core member was dropped!"
+
+
+if __name__ == "__main__":
+    main()

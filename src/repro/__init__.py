@@ -1,0 +1,54 @@
+"""G-Miner: an efficient task-oriented graph mining system (EuroSys
+2018) — a complete Python reproduction.
+
+Public API at a glance::
+
+    from repro import GMinerJob, GMinerConfig, ClusterSpec
+    from repro.apps import TriangleCountingApp
+    from repro.graph.datasets import load_dataset
+
+    graph = load_dataset("orkut-s").graph
+    result = GMinerJob(TriangleCountingApp(), graph,
+                       GMinerConfig(cluster=ClusterSpec(num_nodes=15,
+                                                        cores_per_node=4))).run()
+
+Sub-packages: :mod:`repro.sim` (simulated cluster), :mod:`repro.graph`
+(graphs, datasets), :mod:`repro.partitioning`, :mod:`repro.mining`
+(pure kernels), :mod:`repro.core` (the system), :mod:`repro.apps`
+(the paper's five applications), :mod:`repro.baselines` (comparison
+systems) and :mod:`repro.bench` (the table/figure harness).
+"""
+
+from repro.core import (
+    Aggregator,
+    GMinerApp,
+    GMinerConfig,
+    GMinerJob,
+    JobResult,
+    JobStatus,
+    Subgraph,
+    Task,
+    TaskEnv,
+    TaskStatus,
+)
+from repro.graph.graph import Graph, VertexData
+from repro.sim.cluster import ClusterSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "ClusterSpec",
+    "GMinerApp",
+    "GMinerConfig",
+    "GMinerJob",
+    "Graph",
+    "JobResult",
+    "JobStatus",
+    "Subgraph",
+    "Task",
+    "TaskEnv",
+    "TaskStatus",
+    "VertexData",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""The five paper applications (§8.1), written on the G-Miner API.
+
+* :class:`TriangleCountingApp` (TC) — light, 1-hop, non-attributed.
+* :class:`MaxCliqueApp` (MCF) — heavy, 1-hop, non-attributed, with the
+  global-bound aggregator that yields superlinear pruning.
+* :class:`GraphMatchingApp` (GM) — labelled tree-pattern matching
+  (Figure 1's pattern by default).
+* :class:`CommunityDetectionApp` (CD) — attribute-coherent dense
+  subgraphs.
+* :class:`GraphClusteringApp` (GC) — FocusCO-style focused clusters.
+* :class:`GraphletCountingApp` (GL) — size-k graphlet histograms, a
+  sixth application straight from the paper's §4.1 taxonomy.
+
+Each exposes the same knobs the paper's experiments use and reuses the
+pure kernels of :mod:`repro.mining`.
+"""
+
+from repro.apps.triangle_counting import TriangleCountingApp, TCTask
+from repro.apps.maximal_clique import MaxCliqueApp, MCFTask
+from repro.apps.graph_matching import GraphMatchingApp, GMTask
+from repro.apps.community_detection import CommunityDetectionApp, CDTask
+from repro.apps.graph_clustering import GraphClusteringApp, GCTask
+from repro.apps.graphlet_counting import GraphletCountingApp, GLTask
+
+__all__ = [
+    "TriangleCountingApp",
+    "TCTask",
+    "MaxCliqueApp",
+    "MCFTask",
+    "GraphMatchingApp",
+    "GMTask",
+    "CommunityDetectionApp",
+    "CDTask",
+    "GraphClusteringApp",
+    "GCTask",
+    "GraphletCountingApp",
+    "GLTask",
+]

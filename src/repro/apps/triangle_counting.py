@@ -1,0 +1,49 @@
+"""Triangle counting (TC) on G-Miner.
+
+The lightest of the five workloads (§8.1): each task needs exactly one
+round.  The task seeded at ``v`` pulls the adjacency of its higher-ID
+neighbours and counts triangles ``v < u < w``; summing per-task counts
+gives the exact global count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.api import GMinerApp
+from repro.core.task import Task, TaskEnv
+from repro.graph.graph import VertexData
+from repro.mining.triangles import triangles_for_seed
+
+
+class TCTask(Task):
+    """One-round task: count triangles whose minimum vertex is the seed."""
+
+    def __init__(self, seed: VertexData) -> None:
+        super().__init__(seed)
+        higher = [u for u in seed.neighbors if u > seed.vid]
+        self.pull(higher)
+
+    def update(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> None:
+        neighbor_adjacency = {vid: data.neighbors for vid, data in cand_objs.items()}
+        count = triangles_for_seed(
+            self.seed.vid, self.seed.neighbors, neighbor_adjacency, meter=self
+        )
+        self.subgraph.add_nodes(neighbor_adjacency)
+        self.finish(count)
+
+
+class TriangleCountingApp(GMinerApp):
+    """Exact triangle counting; the job value is the global count."""
+
+    name = "tc"
+
+    def make_task(self, vertex: VertexData) -> Optional[Task]:
+        # a seed needs at least two higher neighbours to close a triangle
+        higher = [u for u in vertex.neighbors if u > vertex.vid]
+        if len(higher) < 2:
+            return None
+        return TCTask(vertex)
+
+    def combine_results(self, results) -> int:
+        return sum(r for r in results if r is not None)

@@ -1,0 +1,36 @@
+"""Baseline systems the paper compares against (§2, §3, §8.2).
+
+Model re-implementations of each comparison system's *computational
+model*, run on the same simulated cluster and the same real mining
+kernels, so Tables 1/3/4 and Figure 10 are apples-to-apples:
+
+* :class:`SingleThreadSystem` — the optimised sequential baseline
+  (used for Table 1 and the COST metric of Figure 7).
+* :class:`VertexCentricSystem` — BSP vertex-centric execution with
+  per-superstep barriers and message materialisation.  Two flavours:
+  ``giraph`` (in-memory, JVM-style object overhead, OOM-prone) and
+  ``graphx`` (dataflow engine: spills shuffles to disk instead of
+  OOM-ing, at a large constant overhead).
+* :class:`EmbeddingExploreSystem` — Arabesque-like embedding
+  exploration: rounds of expand-then-filter over materialised
+  embedding sets.
+* :class:`BatchSubgraphSystem` — G-thinker-like subgraph-centric
+  batch processing: the same task objects G-Miner runs, but compute
+  and communication alternate in barriered phases, with a plain FIFO
+  cache and no LSH ordering, disk pipeline, or stealing.
+
+All runners return the same :class:`~repro.core.job.JobResult` record
+G-Miner produces.
+"""
+
+from repro.baselines.single_thread import SingleThreadSystem
+from repro.baselines.vertex_centric import VertexCentricSystem
+from repro.baselines.embedding_explore import EmbeddingExploreSystem
+from repro.baselines.batch_subgraph import BatchSubgraphSystem
+
+__all__ = [
+    "SingleThreadSystem",
+    "VertexCentricSystem",
+    "EmbeddingExploreSystem",
+    "BatchSubgraphSystem",
+]

@@ -1,0 +1,81 @@
+"""Shared plumbing for baseline systems.
+
+Baselines describe *workloads* abstractly (app name + parameters) and
+run the same pure kernels as the G-Miner applications, so results are
+directly comparable.  :class:`WorkloadSpec` resolves an app into the
+pieces a baseline model needs (sequential kernel, per-seed work, label
+maps, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.api import GMinerApp
+from repro.core.job import JobResult, JobStatus
+from repro.graph.graph import Graph
+from repro.mining.cost import Budget, BudgetExceeded, WorkMeter
+
+
+@dataclass
+class GraphView:
+    """Plain-dict view of a graph, shared by all baseline kernels."""
+
+    adjacency: Dict[int, Tuple[int, ...]]
+    labels: Dict[int, Optional[str]]
+    attributes: Dict[int, Tuple[int, ...]]
+
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphView":
+        adjacency = {}
+        labels = {}
+        attributes = {}
+        for v in graph.vertices():
+            adjacency[v] = graph.neighbors(v)
+            labels[v] = graph.label(v)
+            attributes[v] = graph.attributes(v)
+        return cls(adjacency=adjacency, labels=labels, attributes=attributes)
+
+
+class UnsupportedWorkload(Exception):
+    """The baseline's programming model cannot express this app.
+
+    The paper's Tables 3–5 mark these situations structurally: the
+    vertex-centric systems cannot express GM/CD/GC at all.
+    """
+
+    def __init__(self, system: str, app: str):
+        self.system = system
+        self.app = app
+        super().__init__(f"{system} cannot express workload {app!r}")
+
+
+def make_result(
+    status: JobStatus,
+    app_name: str,
+    value: Any = None,
+    total_seconds: float = 0.0,
+    cpu_utilization: float = 0.0,
+    peak_memory_bytes: int = 0,
+    network_bytes: int = 0,
+    disk_bytes: int = 0,
+    stats: Optional[Dict[str, float]] = None,
+    timeline=None,
+    mining_window: Tuple[float, float] = (0.0, 0.0),
+) -> JobResult:
+    """Build a JobResult for a baseline run."""
+    return JobResult(
+        status=status,
+        app_name=app_name,
+        value=value,
+        total_seconds=total_seconds,
+        mining_seconds=total_seconds,
+        cpu_utilization=cpu_utilization,
+        peak_memory_bytes=peak_memory_bytes,
+        network_bytes=network_bytes,
+        disk_bytes=disk_bytes,
+        stats=stats or {},
+        timeline=timeline,
+        mining_window=mining_window,
+    )

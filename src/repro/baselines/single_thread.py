@@ -1,0 +1,100 @@
+"""The optimised single-threaded baseline (paper Table 1, Figure 7).
+
+Runs each workload's sequential kernel on one simulated core at full
+speed: elapsed time = work units / core speed, CPU utilisation 100%,
+zero network.  This is the yardstick for the COST metric [19]: the
+number of cores a distributed system needs to beat it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.baselines.common import GraphView, make_result
+from repro.core.job import JobResult, JobStatus
+from repro.graph.graph import Graph
+from repro.mining.clustering import FocusParams, focused_clustering_sequential
+from repro.mining.cliques import max_clique_sequential
+from repro.mining.community import CommunityParams, community_detection_sequential
+from repro.mining.cost import Budget, BudgetExceeded, WorkMeter
+from repro.mining.matching import graph_matching_sequential
+from repro.mining.patterns import PAPER_PATTERN, TreePattern
+from repro.mining.triangles import triangle_count_sequential
+from repro.sim.cluster import DEFAULT_CORE_SPEED
+
+
+class SingleThreadSystem:
+    """Sequential reference implementation of all five workloads."""
+
+    name = "single-thread"
+
+    def __init__(
+        self,
+        core_speed: float = DEFAULT_CORE_SPEED,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.core_speed = core_speed
+        self.time_limit = time_limit
+
+    def _meter(self) -> WorkMeter:
+        if self.time_limit is None:
+            return WorkMeter()
+        return Budget(limit=self.time_limit * self.core_speed)
+
+    def run(
+        self,
+        app: str,
+        graph: Graph,
+        pattern: TreePattern = PAPER_PATTERN,
+        community_params: Optional[CommunityParams] = None,
+        focus_params: Optional[FocusParams] = None,
+        exemplars: Sequence[int] = (),
+    ) -> JobResult:
+        """Run workload ``app`` ('tc'|'mcf'|'gm'|'cd'|'gc') sequentially."""
+        view = GraphView.of(graph)
+        meter = self._meter()
+        value: Any = None
+        status = JobStatus.OK
+        try:
+            if app == "tc":
+                value = triangle_count_sequential(view.adjacency, meter)
+            elif app == "mcf":
+                value = max_clique_sequential(view.adjacency, meter)
+            elif app == "gm":
+                value = graph_matching_sequential(
+                    pattern, view.labels, view.adjacency, meter
+                )
+            elif app == "cd":
+                value = community_detection_sequential(
+                    community_params or CommunityParams(),
+                    view.attributes,
+                    view.adjacency,
+                    meter,
+                )
+            elif app == "gc":
+                value = focused_clustering_sequential(
+                    exemplars,
+                    focus_params or FocusParams(),
+                    view.attributes,
+                    view.adjacency,
+                    meter,
+                )
+            else:
+                raise ValueError(f"unknown workload {app!r}")
+        except BudgetExceeded:
+            status = JobStatus.TIMEOUT
+        elapsed = meter.units / self.core_speed
+        if status is JobStatus.TIMEOUT and self.time_limit is not None:
+            elapsed = self.time_limit
+        # memory: the whole graph plus small working state, one machine
+        peak_memory = graph.estimate_size() + (1 << 16)
+        return make_result(
+            status=status,
+            app_name=app,
+            value=value,
+            total_seconds=elapsed,
+            cpu_utilization=1.0,
+            peak_memory_bytes=peak_memory,
+            network_bytes=0,
+            stats={"work_units": meter.units},
+        )

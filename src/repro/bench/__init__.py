@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+:mod:`repro.bench.runner` runs any workload on any system (G-Miner or
+a baseline) with the scaled experiment defaults; :mod:`repro.bench.report`
+renders rows the way the paper's tables do ("x" for OOM, "-" for over
+the time limit); :mod:`repro.bench.experiments` defines one function
+per table/figure, each returning an :class:`ExperimentReport` that the
+``benchmarks/`` suite executes and EXPERIMENTS.md records.
+"""
+
+from repro.bench.runner import (
+    EXPERIMENT_SPEC,
+    DEFAULT_TIME_LIMIT,
+    build_app,
+    prepare_dataset,
+    run_gminer,
+    run_system,
+)
+from repro.bench.report import ExperimentReport, format_cell, render_table
+from repro.bench import experiments
+
+__all__ = [
+    "EXPERIMENT_SPEC",
+    "DEFAULT_TIME_LIMIT",
+    "build_app",
+    "prepare_dataset",
+    "run_gminer",
+    "run_system",
+    "ExperimentReport",
+    "format_cell",
+    "render_table",
+    "experiments",
+]

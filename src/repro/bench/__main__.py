@@ -1,0 +1,70 @@
+"""Command-line entry point for the experiment harness.
+
+Run one experiment (or all of them) without pytest::
+
+    python -m repro.bench list                 # show experiment ids
+    python -m repro.bench run table1           # one table/figure
+    python -m repro.bench run all -o results/  # everything, archived
+
+Each experiment prints in the paper's format and, with ``-o``, is also
+written to ``<dir>/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+
+
+def _registry():
+    return {fn.__name__: fn for fn in experiments.ALL_EXPERIMENTS}
+
+
+def cmd_list() -> int:
+    for name, fn in _registry().items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        print(f"{name:<28} {doc[0] if doc else ''}")
+    return 0
+
+
+def cmd_run(names, out_dir) -> int:
+    registry = _registry()
+    if names == ["all"]:
+        names = list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        report = registry[name]()
+        print(report)
+        print(f"[{name} completed in {time.time() - started:.1f}s wall clock]")
+        print()
+        if out_dir:
+            report.save(out_dir)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run experiments by function name")
+    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.add_argument("-o", "--out-dir", default=None, help="archive directory")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.names, args.out_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

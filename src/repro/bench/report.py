@@ -1,0 +1,115 @@
+"""Rendering experiment results the way the paper's tables do.
+
+``"x"`` marks an out-of-memory failure, ``"-"`` a run that exceeded the
+time limit, a number the elapsed simulated seconds — matching the
+legend of Tables 1 and 3.  :class:`ExperimentReport` is the structured
+record a benchmark produces and EXPERIMENTS.md archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.job import JobResult, JobStatus
+
+
+def format_cell(result: Optional[JobResult], metric: str = "time") -> str:
+    """One table cell: per the paper, "x" = OOM, "-" = over limit."""
+    if result is None:
+        return "n/a"  # the system cannot express the workload
+    if result.status is JobStatus.OOM:
+        return "x"
+    if result.status is JobStatus.TIMEOUT:
+        return "-"
+    if metric == "time":
+        return f"{result.total_seconds:.3f}"
+    if metric == "mining":
+        return f"{result.mining_seconds:.3f}"
+    if metric == "cpu":
+        return f"{100 * result.cpu_utilization:.1f}%"
+    if metric == "mem":
+        return f"{result.peak_memory_bytes / 1e6:.2f}MB"
+    if metric == "net":
+        return f"{result.network_bytes / 1e6:.2f}MB"
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    row_labels: Sequence[str],
+    label_header: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    widths = [max(len(label_header), *(len(lbl) for lbl in row_labels))]
+    for c, col in enumerate(columns):
+        widths.append(max(len(col), *(len(r[c]) for r in rows)) if rows else len(col))
+    lines = [title]
+    header = label_header.ljust(widths[0]) + "".join(
+        f"  {col:>{widths[i + 1]}}" for i, col in enumerate(columns)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(row_labels, rows):
+        lines.append(
+            label.ljust(widths[0])
+            + "".join(f"  {cell:>{widths[i + 1]}}" for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Any],
+    series: Dict[str, Sequence[float]],
+    fmt: str = "{:.3f}",
+) -> str:
+    """Tabular rendering of figure data (x column + one column per line)."""
+    names = sorted(series)
+    columns = [x_label] + names
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([str(x)] + [fmt.format(series[name][i]) for name in names])
+    widths = [max(len(c), *(len(r[j]) for r in rows)) if rows else len(c)
+              for j, c in enumerate(columns)]
+    lines = [title]
+    lines.append("  ".join(c.rjust(widths[j]) for j, c in enumerate(columns)))
+    lines.append("-" * (sum(widths) + 2 * (len(columns) - 1)))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    checks: List[str] = field(default_factory=list)  # shape assertions that held
+    notes: List[str] = field(default_factory=list)  # documented deviations
+
+    def __str__(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.rendered]
+        if self.checks:
+            parts.append("shape checks: " + "; ".join(self.checks))
+        if self.notes:
+            parts.append("notes: " + "; ".join(self.notes))
+        return "\n".join(parts)
+
+    def save(self, directory: str = "results") -> str:
+        """Persist the rendered report (EXPERIMENTS.md is assembled
+        from these files).  Returns the path written."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(str(self))
+            fh.write("\n")
+        return path

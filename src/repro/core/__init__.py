@@ -1,0 +1,47 @@
+"""G-Miner core: the paper's primary contribution.
+
+A task-oriented graph-mining system (§4–§7):
+
+* the **task model** — independent units carrying ``(subgraph,
+  candidates, context)`` through ACTIVE/INACTIVE/READY/DEAD states;
+* the **task pipeline** — task store (LSH-keyed priority queue with
+  disk-resident blocks), candidate retriever (CMQ + reference-counting
+  vertex cache), task executor (CPQ + compute pool + batched task
+  buffer) — all progressing concurrently with no barriers;
+* **load balancing** — BDG partitioning (static) and task stealing
+  (dynamic, REQ/MIGRATE protocol with cost/locality thresholds);
+* **fault tolerance** — periodic checkpoints to (simulated) HDFS with
+  per-worker recovery.
+
+User programs subclass :class:`Task` and :class:`GMinerApp` (mirroring
+the paper's Listing 1 API) and run via :class:`GMinerJob`.
+"""
+
+from repro.core.config import GMinerConfig
+from repro.core.subgraph import Subgraph
+from repro.core.task import Task, TaskStatus, TaskEnv
+from repro.core.aggregator import Aggregator, MaxAggregator, SumAggregator
+from repro.core.api import GMinerApp
+from repro.core.lsh import MinHashLSH
+from repro.core.rcv_cache import RCVCache, CachePolicy
+from repro.core.task_store import TaskStore
+from repro.core.job import GMinerJob, JobResult, JobStatus
+
+__all__ = [
+    "GMinerConfig",
+    "Subgraph",
+    "Task",
+    "TaskStatus",
+    "TaskEnv",
+    "Aggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "GMinerApp",
+    "MinHashLSH",
+    "RCVCache",
+    "CachePolicy",
+    "TaskStore",
+    "GMinerJob",
+    "JobResult",
+    "JobStatus",
+]

@@ -1,0 +1,81 @@
+"""Global aggregation (paper §5.1, Listing 1's ``Aggregator``).
+
+Workers push local values; the master merges them periodically and
+broadcasts the global aggregate back, giving every worker a slightly
+delayed global view.  The flagship use is MCF's global
+currently-maximum clique size, whose broadcast is what produces the
+paper's superlinear pruning speedup (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Aggregator(Generic[T]):
+    """Base aggregator: subclass and implement :meth:`merge`.
+
+    ``initial`` is the identity value.  ``agg`` folds one offered value
+    into a running partial (the paper's ``agg(context)``).
+    """
+
+    def initial(self) -> T:
+        raise NotImplementedError
+
+    def merge(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+    def agg(self, partial: T, value: T) -> T:
+        return self.merge(partial, value)
+
+    def merge_all(self, values: Iterable[T]) -> T:
+        out = self.initial()
+        for value in values:
+            out = self.merge(out, value)
+        return out
+
+
+class MaxAggregator(Aggregator[float]):
+    """Global maximum — MCF's clique bound."""
+
+    def initial(self) -> float:
+        return 0
+
+    def merge(self, a: float, b: float) -> float:
+        return a if a >= b else b
+
+
+class SumAggregator(Aggregator[float]):
+    """Global sum — e.g. total matched-pattern count."""
+
+    def initial(self) -> float:
+        return 0
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+
+class AggregatorState:
+    """Per-worker aggregation endpoint.
+
+    Tracks the local partial (folded from task offers) and the last
+    global value broadcast by the master.
+    """
+
+    def __init__(self, aggregator: Aggregator) -> None:
+        self.aggregator = aggregator
+        self.local_partial = aggregator.initial()
+        self.global_value = aggregator.initial()
+
+    def offer(self, value: Any) -> None:
+        self.local_partial = self.aggregator.agg(self.local_partial, value)
+
+    def receive_global(self, value: Any) -> None:
+        self.global_value = self.aggregator.merge(self.global_value, value)
+
+    @property
+    def best_known(self) -> Any:
+        """What tasks should prune with: max of local and global views."""
+        return self.aggregator.merge(self.local_partial, self.global_value)

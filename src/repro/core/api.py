@@ -1,0 +1,61 @@
+"""The user-facing programming API (paper §5.2, Listing 1).
+
+To write a G-Miner program, implement a :class:`Task` subclass (the
+mining logic, one ``update`` per round) and a :class:`GMinerApp`
+(playing Listing 1's ``Worker`` role: parsing vertices, selecting
+seeds via ``init``, combining output), optionally with an
+:class:`~repro.core.aggregator.Aggregator` for global state.
+
+See :mod:`repro.apps` for the five paper applications implemented on
+this API, and ``examples/`` for runnable programs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.core.aggregator import Aggregator
+from repro.core.task import Task
+from repro.graph.graph import VertexData
+from repro.graph.io import parse_vertex_line
+
+
+class GMinerApp:
+    """Base class for G-Miner applications (Listing 1's ``Worker``).
+
+    Subclasses implement :meth:`make_task` (the paper's ``init``):
+    given one vertex of the local partition, return a seed task or
+    ``None`` when the vertex seeds nothing.
+    """
+
+    #: Short name used in logs and benchmark tables.
+    name: str = "app"
+
+    def vtx_parser(self, line: str) -> VertexData:
+        """Parse one input line into a vertex (Listing 1's ``vtxParser``)."""
+        return parse_vertex_line(line)
+
+    def make_task(self, vertex: VertexData) -> Optional[Task]:
+        """Seed selection + task generation (Listing 1's ``init``)."""
+        raise NotImplementedError
+
+    def make_aggregator(self) -> Optional[Aggregator]:
+        """Optional global aggregator (e.g. MCF's max bound)."""
+        return None
+
+    def combine_results(self, results: Iterable[Any]) -> Any:
+        """Fold per-task results into the job output (``output``).
+
+        ``results`` iterates over the non-``None`` results of every
+        dead task, already deduplicated by task identity.  The default
+        collects them into a sorted list when orderable, else a list.
+        """
+        collected = [r for r in results if r is not None]
+        try:
+            return sorted(collected)
+        except TypeError:
+            return collected
+
+    def seed_cost(self, vertex: VertexData) -> float:
+        """Work units the task generator spends examining one vertex."""
+        return 2.0

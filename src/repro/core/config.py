@@ -1,0 +1,104 @@
+"""G-Miner runtime configuration.
+
+Every knob the paper's experiments toggle is explicit here: the
+partitioner (Figure 11), the LSH task priority queue (Figure 12), task
+stealing (Figure 13), the cache policy (§7's RCV discussion), plus the
+extension features (recursive task splitting, §9) and fault-tolerance
+settings (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class GMinerConfig:
+    """Configuration for a G-Miner job."""
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+
+    # -- static load balancing (§6.1) ---------------------------------
+    partitioner: str = "bdg"  # "bdg" | "hash"
+
+    # -- task store / LSH priority queue (§4.3, §7) --------------------
+    enable_lsh: bool = True
+    lsh_signature_size: int = 4
+    store_block_tasks: int = 64  # tasks per disk-resident block
+    #: A block also splits past this many bytes, so heavy tasks (GC
+    #: growers, GM partial-embedding sets) cannot balloon the one
+    #: in-memory head block — the store's whole point is bounding
+    #: memory (§4.3).
+    store_block_bytes: int = 262_144
+
+    # -- RCV cache (§7) -------------------------------------------------
+    cache_policy: str = "rcv"  # "rcv" | "lru" | "fifo"
+    cache_capacity_bytes: int = 262_144
+    #: §5.1: one process per node shares the cache across all cores
+    #: (the default, maximising cache efficiency).  k > 1 models
+    #: multi-process deployment: the node's cache budget splits into k
+    #: independent caches with no sharing between them.
+    processes_per_node: int = 1
+
+    # -- candidate retriever --------------------------------------------
+    max_inflight_tasks: int = 8  # CMQ capacity per worker
+    pull_batch_overhead_bytes: int = 24  # per pull request/response framing
+
+    # -- task executor ----------------------------------------------------
+    task_buffer_batch: int = 16  # tasks flushed from buffer to store at once
+    #: Backpressure: the retriever stops feeding the CPQ once this many
+    #: tasks are queued per core, keeping the surplus INACTIVE in the
+    #: task store where it is cheap to hold (disk-backed) and visible
+    #: to task stealing.
+    cpq_per_core: int = 1
+
+    # -- dynamic load balancing: task stealing (§6.2) ---------------------
+    enable_stealing: bool = True
+    steal_batch: int = 16  # Tnum: tasks migrated per MIGRATE
+    steal_cost_threshold: float = 512.0  # Tc, against c(t) = |subG| + |candVtxs|
+    steal_local_rate_threshold: float = 0.9  # Tr, against lr(t)
+    steal_retry_interval: float = 0.02  # idle worker re-REQ period (sim s)
+
+    # -- aggregator / progress (§5.1) --------------------------------------
+    agg_interval: float = 0.02  # seconds between aggregator syncs
+    progress_interval: float = 0.02  # seconds between progress reports
+
+    # -- fault tolerance (§7) ------------------------------------------------
+    checkpoint_interval: Optional[float] = None  # seconds; None disables
+
+    # -- extensions (paper §9 future work) -----------------------------------
+    enable_splitting: bool = False
+    split_candidate_threshold: int = 256  # split tasks with more candidates
+
+    # -- observability ------------------------------------------------------
+    enable_tracing: bool = False  # task-lifecycle trace (repro.core.tracing)
+    trace_capacity: int = 200_000  # max trace records before dropping
+
+    # -- job limits ------------------------------------------------------------
+    time_limit: Optional[float] = None  # simulated seconds; None = unlimited
+
+    # -- misc -------------------------------------------------------------------
+    seed_scan_cost: float = 2.0  # work units per vertex scanned by task generator
+
+    def replace(self, **kwargs) -> "GMinerConfig":
+        """Return a copy with the given fields overridden."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.partitioner not in ("bdg", "hash"):
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")
+        if self.cache_policy not in ("rcv", "lru", "fifo"):
+            raise ValueError(f"unknown cache policy {self.cache_policy!r}")
+        if self.store_block_tasks < 1:
+            raise ValueError("store_block_tasks must be >= 1")
+        if self.max_inflight_tasks < 1:
+            raise ValueError("max_inflight_tasks must be >= 1")
+        if self.steal_batch < 1:
+            raise ValueError("steal_batch must be >= 1")
+        if self.cache_capacity_bytes < 0:
+            raise ValueError("cache capacity cannot be negative")
+        if self.processes_per_node < 1:
+            raise ValueError("processes_per_node must be >= 1")

@@ -1,0 +1,447 @@
+"""Job orchestration: run a G-Miner application on a simulated cluster.
+
+:class:`GMinerJob` wires the full system — HDFS load, partitioning
+(BDG or hash), worker construction, the master's coordination loops,
+optional failure injection — runs the simulation to completion, and
+returns a :class:`JobResult` carrying every quantity the paper's tables
+and figures report: elapsed (simulated) time, average CPU utilisation,
+peak aggregate memory, network bytes, utilisation timelines and
+pipeline statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.aggregator import AggregatorState
+from repro.core.api import GMinerApp
+from repro.core.config import GMinerConfig
+from repro.core.master import Master
+from repro.core.tracing import NullTraceLog, TraceLog
+from repro.core.worker import SimWorker
+from repro.graph.graph import Graph, VertexData
+from repro.partitioning import BDGPartitioner, HashPartitioner, PartitionAssignment
+from repro.sim.cluster import Cluster, build_cluster
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulatedOOMError
+from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.hdfs import SimulatedHDFS
+from repro.sim.metrics import UtilizationTimeline
+
+
+class JobStatus(enum.Enum):
+    OK = "ok"
+    OOM = "oom"  # the paper's "x" entries
+    TIMEOUT = "timeout"  # the paper's "-" entries
+
+
+class JobController:
+    """Global liveness tracking: when is the job done?
+
+    The job finishes when every worker's task generator has completed
+    and the number of live tasks reaches zero with no recovery pending.
+    """
+
+    def __init__(self, sim: Simulator, num_workers: int) -> None:
+        self.sim = sim
+        self.live = 0
+        self.total_created = 0
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        self._seeding_pending: Set[int] = set(range(num_workers))
+        self.recovery_pending = 0
+
+    def task_created(self) -> None:
+        """A task entered the system (seeding, splitting, re-injection)."""
+        self.live += 1
+        self.total_created += 1
+
+    def task_dead(self) -> None:
+        """A task finished; may complete the job."""
+        self.live -= 1
+        self._check()
+
+    def tasks_lost(self, n: int) -> None:
+        """A failed worker took ``n`` live tasks down with it."""
+        self.live -= n
+
+    def tasks_restored(self, n: int) -> None:
+        """Checkpoint recovery re-created ``n`` live tasks."""
+        self.live += n
+
+    def seeding_finished(self, worker_id: int) -> None:
+        """A worker's task generator completed its scan."""
+        self._seeding_pending.discard(worker_id)
+        self._check()
+
+    def begin_recovery(self) -> None:
+        """Hold job completion open while a worker recovers."""
+        self.recovery_pending += 1
+
+    def end_recovery(self) -> None:
+        """Recovery done; completion may now trigger."""
+        self.recovery_pending -= 1
+        self._check()
+
+    def _check(self) -> None:
+        if (
+            not self.finished
+            and not self._seeding_pending
+            and self.recovery_pending == 0
+            and self.live == 0
+        ):
+            self.finished = True
+            self.finish_time = self.sim.now
+
+
+@dataclass
+class JobResult:
+    """Everything a finished (or failed) job reports."""
+
+    status: JobStatus
+    app_name: str
+    value: Any = None
+    aggregated: Any = None
+    setup_seconds: float = 0.0
+    partition_seconds: float = 0.0
+    mining_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cpu_utilization: float = 0.0
+    peak_memory_bytes: int = 0
+    network_bytes: int = 0
+    disk_bytes: int = 0
+    num_results: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+    timeline: Optional[UtilizationTimeline] = None
+    mining_window: Tuple[float, float] = (0.0, 0.0)
+    trace: Optional[TraceLog] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed within memory and time budgets."""
+        return self.status is JobStatus.OK
+
+    @property
+    def peak_memory_gb(self) -> float:
+        """Cluster-wide peak memory in GB (the paper's Mem columns)."""
+        return self.peak_memory_bytes / 1e9
+
+    @property
+    def network_gb(self) -> float:
+        """Total network traffic in GB (the paper's Net columns)."""
+        return self.network_bytes / 1e9
+
+    def utilization_series(self, bins: int = 50):
+        """CPU/network/disk utilisation time series (Figures 5–6)."""
+        if self.timeline is None:
+            raise ValueError("no timeline recorded")
+        start, end = self.mining_window
+        return self.timeline.sample(end, bins=bins, start=start)
+
+
+class GMinerJob:
+    """Configure and execute one G-Miner job."""
+
+    def __init__(
+        self,
+        app: GMinerApp,
+        graph: Graph,
+        config: Optional[GMinerConfig] = None,
+        failure_plan: Optional[FailurePlan] = None,
+    ) -> None:
+        self.app = app
+        self.graph = graph
+        self.config = config or GMinerConfig()
+        self.config.validate()
+        self.failure_plan = failure_plan
+        self.workers: List[SimWorker] = []
+        self.master: Optional[Master] = None
+        self.cluster: Optional[Cluster] = None
+        self.assignment: Optional[PartitionAssignment] = None
+
+    # ------------------------------------------------------------------
+
+    def _partition(self, num_workers: int) -> PartitionAssignment:
+        if self.config.partitioner == "bdg":
+            partitioner = BDGPartitioner()
+        else:
+            partitioner = HashPartitioner()
+        return partitioner.partition(self.graph, num_workers)
+
+    def _setup_costs(self, assignment: PartitionAssignment, cluster: Cluster) -> Tuple[float, float]:
+        """(hdfs load + shuffle seconds, partitioning seconds)."""
+        spec = self.config.cluster
+        graph_bytes = self.graph.estimate_size()
+        # initial parallel load from HDFS
+        load_seconds = graph_bytes / (4e6 * spec.num_nodes) + 2e-3
+        # partitioning runs distributed across the cluster
+        partition_seconds = assignment.partition_time_units / (
+            spec.core_speed * spec.num_nodes
+        )
+        # shuffle: vertices move from their initial loader (contiguous
+        # ranges) to their assigned owner
+        vids = sorted(self.graph.vertices())
+        chunk = max(1, (len(vids) + spec.num_nodes - 1) // spec.num_nodes)
+        moved = 0
+        for i, vid in enumerate(vids):
+            loader = min(i // chunk, spec.num_nodes - 1)
+            if assignment.owner_of(vid) != loader:
+                moved += self.graph.vertex_data(vid).estimate_size()
+        shuffle_seconds = moved / (spec.net_bandwidth * spec.num_nodes)
+        cluster.network.bytes_counter.add(moved)
+        return load_seconds + shuffle_seconds, partition_seconds
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> JobResult:
+        spec = self.config.cluster
+        num_workers = spec.num_nodes
+        sim = Simulator()
+        cluster = build_cluster(spec, sim, extra_network_endpoints=1)
+        self.cluster = cluster
+        master_endpoint = num_workers
+        hdfs = SimulatedHDFS(sim)
+
+        assignment = self._partition(num_workers)
+        assignment.validate_complete(self.graph)
+        self.assignment = assignment
+        transfer_seconds, partition_seconds = self._setup_costs(assignment, cluster)
+        setup_seconds = transfer_seconds + partition_seconds
+
+        controller = JobController(sim, num_workers)
+        aggregator = self.app.make_aggregator()
+        owner_of = assignment.owner_of
+
+        workers: List[SimWorker] = []
+        for worker_id in range(num_workers):
+            agg_state = AggregatorState(aggregator) if aggregator else None
+            worker = SimWorker(
+                worker_id=worker_id,
+                node=cluster.node(worker_id),
+                cluster=cluster,
+                config=self.config,
+                app=self.app,
+                controller=controller,
+                owner_of=owner_of,
+                aggregator_state=agg_state,
+                master_endpoint=master_endpoint,
+            )
+            worker.hdfs = hdfs
+            workers.append(worker)
+        self.workers = workers
+
+        trace = (
+            TraceLog(capacity=self.config.trace_capacity)
+            if self.config.enable_tracing
+            else None
+        )
+        if trace is not None:
+            for worker in workers:
+                worker.trace = trace
+        self.trace = trace
+
+        master = Master(
+            cluster=cluster,
+            config=self.config,
+            num_workers=num_workers,
+            endpoint=master_endpoint,
+            aggregator=aggregator,
+            controller=controller,
+        )
+        self.master = master
+
+        # distribute partitions (memory charged immediately; the time
+        # cost is folded into setup_seconds)
+        for worker_id in range(num_workers):
+            vids = assignment.vertices_of(worker_id)
+            workers[worker_id].load_partition(
+                {vid: self.graph.vertex_data(vid) for vid in vids}
+            )
+
+        def start_mining():
+            for worker in workers:
+                worker.seed_tasks()
+            master.start()
+            for worker in workers:
+                self._arm_worker_tick(worker, controller)
+
+        sim.schedule(setup_seconds, start_mining)
+
+        if self.failure_plan is not None:
+            self._arm_failures(cluster, hdfs, master, controller)
+
+        time_limit = self.config.time_limit
+        status = JobStatus.OK
+        try:
+            sim.run(until=time_limit)
+        except SimulatedOOMError:
+            status = JobStatus.OOM
+        if status is JobStatus.OK and not controller.finished:
+            status = JobStatus.TIMEOUT
+
+        result = self._collect(
+            status, controller, cluster, setup_seconds, partition_seconds
+        )
+        result.trace = getattr(self, "trace", None)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _arm_worker_tick(self, worker: SimWorker, controller: JobController) -> None:
+        """Periodic per-worker loop: progress + agg reports + liveness.
+
+        Backs off exponentially while the worker idles so a finished
+        cluster doesn't spin the event loop.
+        """
+        base = self.config.progress_interval
+        state = {"interval": base}
+
+        def tick():
+            if controller.finished:
+                return
+            if worker.node.alive:
+                worker.send_progress()
+                worker.send_agg_report()
+                if worker.node.cores.busy_cores == 0 and worker.node.cores.queued == 0:
+                    worker._flush_buffer(force=True)
+                worker._pump_retriever()
+            if worker.idle:
+                state["interval"] = min(state["interval"] * 2.0, 1.0)
+            else:
+                state["interval"] = base
+            worker.cluster.sim.schedule(state["interval"], tick)
+
+        worker.cluster.sim.schedule(base, tick)
+
+    def _arm_failures(
+        self,
+        cluster: Cluster,
+        hdfs: SimulatedHDFS,
+        master: Master,
+        controller: JobController,
+    ) -> None:
+        workers = self.workers
+
+        def on_fail(node_id: int) -> None:
+            lost = workers[node_id].on_failure()
+            controller.tasks_lost(lost)
+            controller.begin_recovery()
+            master.handle_worker_failure(node_id)
+
+        def on_recover(node_id: int) -> None:
+            worker = workers[node_id]
+            # reload partition + checkpoint from HDFS before resuming
+            partition_bytes = sum(
+                v.estimate_size() for v in worker.vertex_table.values()
+            )
+            read_seconds = partition_bytes / 4e6 + 2e-3
+
+            def restore():
+                restored = worker.recover(hdfs)
+                controller.tasks_restored(restored)
+                controller.end_recovery()
+                master.handle_worker_recovery(node_id)
+                self._arm_worker_tick(worker, controller)
+                worker._pump_retriever()
+
+            cluster.sim.schedule(read_seconds, restore)
+
+        injector = FailureInjector(
+            cluster, self.failure_plan, on_fail=on_fail, on_recover=on_recover
+        )
+        injector.arm()
+
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self,
+        status: JobStatus,
+        controller: JobController,
+        cluster: Cluster,
+        setup_seconds: float,
+        partition_seconds: float,
+    ) -> JobResult:
+        finish = controller.finish_time if controller.finished else cluster.sim.now
+        mining_start = setup_seconds
+        mining_seconds = max(0.0, finish - mining_start)
+
+        results: Dict[int, Any] = {}
+        for worker in self.workers:
+            results.update(worker.results)
+        value = self.app.combine_results(results.values()) if results else None
+
+        aggregated = None
+        agg = self.app.make_aggregator()
+        if agg is not None:
+            partials = [
+                w.agg.local_partial for w in self.workers if w.agg is not None
+            ]
+            aggregated = agg.merge_all(partials) if partials else agg.initial()
+
+        meters = {
+            "cpu": _merged_meter([n.cores.meter for n in cluster.nodes], "cpu"),
+            "network": _merged_meter(
+                [cluster.network.node_meter(n.node_id) for n in cluster.nodes],
+                "network",
+            ),
+            "disk": _merged_meter([n.disk.meter for n in cluster.nodes], "disk"),
+        }
+        timeline = UtilizationTimeline(meters=meters)
+
+        stats: Dict[str, float] = {
+            "tasks_created": controller.total_created,
+            "steals_brokered": self.master.steals_brokered if self.master else 0,
+            "cache_hits": sum(c.hits for w in self.workers for c in w.caches),
+            "cache_misses": sum(c.misses for w in self.workers for c in w.caches),
+            "vertices_pulled": sum(w.stats.vertices_pulled for w in self.workers),
+            "re_pulls": sum(w.stats.re_pulls for w in self.workers),
+            "tasks_migrated": sum(w.stats.tasks_migrated_in for w in self.workers),
+            "rounds_executed": sum(w.stats.rounds_executed for w in self.workers),
+            "disk_spills": sum(w.store.disk_spills for w in self.workers),
+            "disk_loads": sum(w.store.disk_loads for w in self.workers),
+            "checkpoints": sum(w.stats.checkpoints for w in self.workers),
+            "overflow_inserts": sum(
+                c.rejected_inserts for w in self.workers for c in w.caches
+            ),
+        }
+        hits = stats["cache_hits"]
+        misses = stats["cache_misses"]
+        stats["cache_hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+
+        disk_bytes = sum(
+            n.disk.bytes_read.total + n.disk.bytes_written.total for n in cluster.nodes
+        )
+
+        return JobResult(
+            status=status,
+            app_name=self.app.name,
+            value=value,
+            aggregated=aggregated,
+            setup_seconds=setup_seconds,
+            partition_seconds=partition_seconds,
+            mining_seconds=mining_seconds,
+            total_seconds=finish,
+            cpu_utilization=cluster.cpu_utilization(mining_start, finish)
+            if finish > mining_start
+            else 0.0,
+            peak_memory_bytes=cluster.peak_memory_bytes(),
+            network_bytes=cluster.network.bytes_counter.total,
+            disk_bytes=disk_bytes,
+            num_results=len(results),
+            stats=stats,
+            timeline=timeline,
+            mining_window=(mining_start, finish),
+        )
+
+
+def _merged_meter(meters, name: str):
+    """Merge per-node meters into one cluster-wide meter."""
+    from repro.sim.metrics import ResourceMeter
+
+    merged = ResourceMeter(name=name, capacity=sum(m.capacity for m in meters))
+    for meter in meters:
+        for start, end, units in meter.intervals:
+            merged.add_interval(start, end, units)
+    return merged

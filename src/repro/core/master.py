@@ -1,0 +1,160 @@
+"""The G-Miner master (paper §5.1).
+
+The master owns cluster-wide coordination: the progress collector and
+scheduler (driving task stealing), the global aggregator merge and
+broadcast, periodic checkpoint commands, and failure handling.  It is a
+network endpoint without a modelled core pool — its work is negligible
+next to mining.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.aggregator import Aggregator
+from repro.core.config import GMinerConfig
+from repro.core.messages import (
+    AggBroadcast,
+    AggReport,
+    CheckpointCommand,
+    MigrateCommand,
+    NoTask,
+    ProgressReport,
+    StealRequest,
+    WorkerDown,
+    WorkerUp,
+)
+from repro.sim.cluster import Cluster
+
+
+class Master:
+    """Coordinator for one G-Miner job."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: GMinerConfig,
+        num_workers: int,
+        endpoint: int,
+        aggregator: Optional[Aggregator],
+        controller,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config
+        self.num_workers = num_workers
+        self.endpoint = endpoint
+        self.aggregator = aggregator
+        self.controller = controller
+        self.progress_table: Dict[int, ProgressReport] = {}
+        self.agg_partials: Dict[int, Any] = {}
+        self.down_workers: Set[int] = set()
+        self.steals_brokered = 0
+        self.no_task_replies = 0
+        self.checkpoint_epoch = 0
+        cluster.network.register_handler(endpoint, self._on_message)
+
+    # ------------------------------------------------------------------
+    # periodic coordination loops
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic aggregation and checkpoint loops."""
+        if self.aggregator is not None:
+            self.sim.schedule(self.config.agg_interval, self._agg_tick)
+        if self.config.checkpoint_interval is not None:
+            self.sim.schedule(self.config.checkpoint_interval, self._checkpoint_tick)
+
+    def _agg_tick(self) -> None:
+        if self.controller.finished:
+            return
+        if self.agg_partials:
+            merged = self.aggregator.merge_all(self.agg_partials.values())
+            broadcast = AggBroadcast(value=merged)
+            for worker in range(self.num_workers):
+                if worker not in self.down_workers:
+                    self.cluster.network.send(
+                        self.endpoint, worker, broadcast.size_bytes(), broadcast
+                    )
+        self.sim.schedule(self.config.agg_interval, self._agg_tick)
+
+    def _checkpoint_tick(self) -> None:
+        if self.controller.finished:
+            return
+        self.checkpoint_epoch += 1
+        command = CheckpointCommand(epoch=self.checkpoint_epoch)
+        for worker in range(self.num_workers):
+            if worker not in self.down_workers:
+                self.cluster.network.send(
+                    self.endpoint, worker, command.size_bytes(), command
+                )
+        self.sim.schedule(self.config.checkpoint_interval, self._checkpoint_tick)
+
+    # ------------------------------------------------------------------
+    # task stealing: the progress scheduler (§6.2)
+    # ------------------------------------------------------------------
+
+    def _handle_steal_request(self, request: StealRequest) -> None:
+        victim = self._most_loaded_worker(exclude=request.worker)
+        if victim is None:
+            self.no_task_replies += 1
+            reply = NoTask(source=-1)
+            self.cluster.network.send(
+                self.endpoint, request.worker, reply.size_bytes(), reply
+            )
+            return
+        self.steals_brokered += 1
+        command = MigrateCommand(dest=request.worker, count=self.config.steal_batch)
+        self.cluster.network.send(
+            self.endpoint, victim, command.size_bytes(), command
+        )
+
+    def _most_loaded_worker(self, exclude: int) -> Optional[int]:
+        best: Optional[int] = None
+        best_load = 0
+        for worker, report in self.progress_table.items():
+            if worker == exclude or worker in self.down_workers:
+                continue
+            load = report.store_size
+            if load > best_load:
+                best_load = load
+                best = worker
+        return best
+
+    # ------------------------------------------------------------------
+    # failure handling (§7)
+    # ------------------------------------------------------------------
+
+    def handle_worker_failure(self, worker: int) -> None:
+        self.down_workers.add(worker)
+        self.progress_table.pop(worker, None)
+        notice = WorkerDown(worker=worker)
+        for other in range(self.num_workers):
+            if other != worker and other not in self.down_workers:
+                self.cluster.network.send(
+                    self.endpoint, other, notice.size_bytes(), notice
+                )
+
+    def handle_worker_recovery(self, worker: int) -> None:
+        self.down_workers.discard(worker)
+        notice = WorkerUp(worker=worker)
+        for other in range(self.num_workers):
+            if other != worker and other not in self.down_workers:
+                self.cluster.network.send(
+                    self.endpoint, other, notice.size_bytes(), notice
+                )
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        payload = message.payload
+        if isinstance(payload, ProgressReport):
+            self.progress_table[payload.worker] = payload
+        elif isinstance(payload, AggReport):
+            self.agg_partials[payload.worker] = payload.partial
+        elif isinstance(payload, StealRequest):
+            self._handle_steal_request(payload)
+        else:
+            raise TypeError(f"master cannot handle {type(payload).__name__}")

@@ -1,0 +1,148 @@
+"""Message vocabulary of the G-Miner protocol.
+
+Everything workers and the master exchange: vertex pulls (§4.3),
+aggregator sync and progress reports (§5.1), the task-stealing
+REQ/MIGRATE/No_Task protocol (§6.2), checkpoint commands and failure
+notices (§7).  Every message knows its serialised size so the network
+model can charge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.task import Task
+from repro.graph.graph import VertexData
+
+_HEADER = 16  # framing bytes per message
+
+
+@dataclass
+class PullRequest:
+    """Candidate retriever → remote worker: fetch these vertices."""
+
+    requester: int
+    vids: Tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8 * len(self.vids)
+
+
+@dataclass
+class PullResponse:
+    """Remote worker → requester: the pulled vertex data."""
+
+    vertices: Tuple[VertexData, ...]
+
+    def size_bytes(self) -> int:
+        return _HEADER + sum(v.estimate_size() for v in self.vertices)
+
+
+@dataclass
+class AggReport:
+    """Worker → master: local aggregator partial."""
+
+    worker: int
+    partial: Any
+
+    def size_bytes(self) -> int:
+        return _HEADER + 16
+
+
+@dataclass
+class AggBroadcast:
+    """Master → workers: the merged global aggregate."""
+
+    value: Any
+
+    def size_bytes(self) -> int:
+        return _HEADER + 16
+
+
+@dataclass
+class ProgressReport:
+    """Worker → master: pipeline occupancy for the progress table."""
+
+    worker: int
+    store_size: int
+    cmq_size: int
+    cpq_size: int
+    busy_cores: int
+    buffer_size: int
+    idle: bool
+
+    def size_bytes(self) -> int:
+        return _HEADER + 48
+
+
+@dataclass
+class StealRequest:
+    """Idle worker → master: REQ for more tasks (§6.2)."""
+
+    worker: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass
+class MigrateCommand:
+    """Master → loaded worker: ship up to ``count`` tasks to ``dest``."""
+
+    dest: int
+    count: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 16
+
+
+@dataclass
+class TaskMigration:
+    """Loaded worker → idle worker: the migrated tasks themselves."""
+
+    source: int
+    tasks: List[Task] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return _HEADER + sum(int(t.estimate_size()) for t in self.tasks)
+
+
+@dataclass
+class NoTask:
+    """Victim (via master) → requester: nothing worth migrating."""
+
+    source: int
+
+    def size_bytes(self) -> int:
+        return _HEADER
+
+
+@dataclass
+class CheckpointCommand:
+    """Master → workers: snapshot your state to HDFS now (§7)."""
+
+    epoch: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass
+class WorkerDown:
+    """Master → workers: this worker is unreachable; park its pulls."""
+
+    worker: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass
+class WorkerUp:
+    """Master → workers: recovered; re-issue parked pulls."""
+
+    worker: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8

@@ -1,0 +1,128 @@
+"""The ``subG`` field of a task: the growing intermediate subgraph.
+
+Mirrors the paper's ``Subgraph<KeyT, AttrT>`` (Listing 1): a small
+mutable graph the task grows, shrinks or splits as its ``update``
+operation runs.  Kept deliberately lightweight — most applications only
+need the vertex set plus occasional internal edges — with an explicit
+byte estimate feeding the memory model and the task-stealing cost
+function ``c(t)`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class Subgraph:
+    """A small mutable subgraph owned by one task."""
+
+    __slots__ = ("_nodes", "_edges")
+
+    def __init__(self) -> None:
+        self._nodes: Set[int] = set()
+        self._edges: Set[Tuple[int, int]] = set()
+
+    # -- mutation (the paper's grow / shrink / split operations) -------
+
+    def add_node(self, vid: int) -> None:
+        """Grow: include a vertex."""
+        self._nodes.add(vid)
+
+    def add_nodes(self, vids: Iterable[int]) -> None:
+        """Grow: include several vertices."""
+        self._nodes.update(vids)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Grow: record an internal edge (endpoints auto-included)."""
+        if u == v:
+            raise ValueError("self-loops not allowed in task subgraphs")
+        self._nodes.add(u)
+        self._nodes.add(v)
+        self._edges.add((min(u, v), max(u, v)))
+
+    def remove_node(self, vid: int) -> None:
+        """Shrink: drop a vertex and its incident internal edges."""
+        self._nodes.discard(vid)
+        self._edges = {e for e in self._edges if vid not in e}
+
+    def split(self) -> List["Subgraph"]:
+        """Split into one subgraph per connected component.
+
+        Supports the paper's *split* update and the recursive
+        task-splitting extension (§9).  Isolated vertices become
+        singleton subgraphs.
+        """
+        parent: Dict[int, int] = {v: v for v in self._nodes}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self._edges:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        groups: Dict[int, "Subgraph"] = {}
+        for v in self._nodes:
+            groups.setdefault(find(v), Subgraph()).add_node(v)
+        for u, v in self._edges:
+            groups[find(u)].add_edge(u, v)
+        return [groups[k] for k in sorted(groups)]
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Vertex count (the |t.subG| of Eq. 2)."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Internal edge count."""
+        return len(self._edges)
+
+    def nodes(self) -> Iterator[int]:
+        """Vertices in ascending order."""
+        return iter(sorted(self._nodes))
+
+    def node_set(self) -> Set[int]:
+        """A copy of the vertex set."""
+        return set(self._nodes)
+
+    def has_node(self, vid: int) -> bool:
+        """True when the vertex is in the subgraph."""
+        return vid in self._nodes
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the internal edge was recorded."""
+        return (min(u, v), max(u, v)) in self._edges
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Internal edges as sorted (lo, hi) pairs."""
+        return iter(sorted(self._edges))
+
+    def min_node(self) -> Optional[int]:
+        """Smallest vertex id (the dedup anchor), or None when empty."""
+        return min(self._nodes) if self._nodes else None
+
+    def copy(self) -> "Subgraph":
+        """Independent deep copy."""
+        out = Subgraph()
+        out._nodes = set(self._nodes)
+        out._edges = set(self._edges)
+        return out
+
+    def estimate_size(self) -> int:
+        """Byte estimate: 8 per vertex id, 16 per edge, small header."""
+        return 16 + 8 * len(self._nodes) + 16 * len(self._edges)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"Subgraph(|V|={len(self._nodes)}, |E|={len(self._edges)})"

@@ -1,0 +1,179 @@
+"""The task model (paper §4.2).
+
+A :class:`Task` is an independent graph-mining unit with three fields:
+the growing subgraph ``subG``, the ``candidates`` it wants next, and an
+application-defined ``context``.  Its lifetime walks the paper's four
+statuses:
+
+* **ACTIVE** — being processed by ``update``;
+* **INACTIVE** — parked in the task store, waiting for remote pulls;
+* **READY** — all remote candidates are cached, queued for compute;
+* **DEAD** — finished (result reported) or confirmed fruitless.
+
+Applications subclass :class:`Task` and implement ``update``, which
+receives the candidate vertex objects and either calls :meth:`pull`
+(requesting next-round candidates) or :meth:`finish`.  All computation
+inside ``update`` must be charged via :meth:`charge` so the simulated
+cores can account it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.subgraph import Subgraph
+from repro.graph.graph import VertexData
+
+_task_counter = itertools.count()
+
+
+class TaskStatus(enum.Enum):
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    READY = "ready"
+    DEAD = "dead"
+
+
+class TaskEnv:
+    """What the runtime exposes to ``update``.
+
+    ``aggregated`` is the latest globally aggregated value the worker
+    has seen (e.g. the global max-clique bound) — possibly slightly
+    stale, exactly as in the real system where the aggregator syncs
+    periodically.  ``push_to_aggregator`` offers a local value for the
+    next sync.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        aggregated: Any = None,
+        push: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.aggregated = aggregated
+        self._push = push
+
+    def push_to_aggregator(self, value: Any) -> None:
+        if self._push is not None:
+            self._push(value)
+
+
+class Task:
+    """Base class for application tasks (the paper's ``Task`` template).
+
+    Subclasses implement :meth:`update`.  The constructor mirrors task
+    generation from a seed vertex: ``subG`` starts as the seed, and the
+    subclass typically calls :meth:`pull` immediately with the initial
+    candidates.
+    """
+
+    def __init__(self, seed: VertexData) -> None:
+        self.task_id: int = next(_task_counter)
+        self.seed = seed
+        self.subgraph = Subgraph()
+        self.subgraph.add_node(seed.vid)
+        self.candidates: List[int] = []
+        self.context: Any = None
+        self.round: int = 0
+        self.status = TaskStatus.ACTIVE
+        self.owner_worker: Optional[int] = None
+        # populated by the runtime around each update() call
+        self.to_pull: Set[int] = set()
+        self._finished = False
+        self.result: Any = None
+        self._work_units = 0.0
+
+    # -- API used inside update() -------------------------------------
+
+    def charge(self, units: float = 1.0) -> None:
+        """Account computation performed by ``update``."""
+        self._work_units += units
+
+    def pull(self, candidate_ids: Iterable[int]) -> None:
+        """Request these vertices as next-round candidates (Listing 1's
+        ``pull``).  The runtime fetches whatever is not local/cached."""
+        self.candidates = sorted(set(candidate_ids))
+        self.to_pull = set(self.candidates)
+
+    def finish(self, result: Any = None) -> None:
+        """Mark the task dead; ``result`` is reported to the worker."""
+        self._finished = True
+        self.result = result
+        self.candidates = []
+        self.to_pull = set()
+
+    # -- to be implemented by applications ------------------------------
+
+    def update(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> None:
+        """One round of the mining computation (abstract)."""
+        raise NotImplementedError
+
+    def spawn(self) -> List["Task"]:
+        """Optional: child tasks created by this round (task splitting).
+
+        The runtime collects these after each ``update``; the default
+        is no children.  Subclasses supporting the recursive-splitting
+        extension override :meth:`split` instead and the runtime calls
+        it when a task exceeds the split threshold.
+        """
+        return []
+
+    def split(self) -> Optional[List["Task"]]:
+        """Split this task into smaller ones (extension, §9).
+
+        Return ``None`` when the task cannot or need not split.
+        """
+        return None
+
+    # -- runtime hooks ----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def take_work(self) -> float:
+        units = self._work_units
+        self._work_units = 0.0
+        return units
+
+    def run_round(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> float:
+        """Execute one update round; returns work units charged."""
+        self.round += 1
+        self.to_pull = set()
+        self.update(cand_objs, env)
+        return self.take_work()
+
+    # -- cost model ---------------------------------------------------------
+
+    def estimate_size(self) -> int:
+        """Byte estimate for memory accounting and migration cost."""
+        return (
+            64
+            + self.subgraph.estimate_size()
+            + 8 * len(self.candidates)
+            + self.context_size()
+        )
+
+    def context_size(self) -> int:
+        """Byte estimate of the context; override for heavy contexts
+        (e.g. graph matching's partial embeddings)."""
+        return 16
+
+    def migration_cost(self) -> float:
+        """The paper's c(t) = |t.subG| + |t.candVtxs| (Eq. 2)."""
+        return self.subgraph.num_nodes + len(self.candidates)
+
+    def local_rate(self, num_to_pull: int) -> float:
+        """The paper's lr(t) (Eq. 3): fraction of candidates local."""
+        if not self.candidates:
+            return 1.0
+        return (len(self.candidates) - num_to_pull) / len(self.candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(id={self.task_id}, seed={self.seed.vid}, "
+            f"round={self.round}, status={self.status.value})"
+        )

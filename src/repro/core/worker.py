@@ -1,0 +1,767 @@
+"""A G-Miner worker: vertex table + the task pipeline (paper §4.3, §5.1).
+
+One worker runs per cluster node.  It hosts:
+
+* the **vertex table** (its graph partition),
+* the **task store** (LSH-ordered priority queue, disk-backed),
+* the **candidate retriever** (CMQ + RCV cache + remote pulls),
+* the **task executor** (compute pool + task buffer),
+* the request listener (serving pulls and migrations from peers),
+* the progress reporter and checkpoint logic.
+
+The three pipeline stages share no barrier: the retriever keeps the
+CMQ primed while cores crunch tasks and the disk spills/loads store
+blocks, which is exactly the overlap Figure 6 shows.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.aggregator import AggregatorState
+from repro.core.api import GMinerApp
+from repro.core.config import GMinerConfig
+from repro.core.lsh import MinHashLSH
+from repro.core.messages import (
+    AggBroadcast,
+    AggReport,
+    CheckpointCommand,
+    MigrateCommand,
+    NoTask,
+    ProgressReport,
+    PullRequest,
+    PullResponse,
+    StealRequest,
+    TaskMigration,
+    WorkerDown,
+    WorkerUp,
+)
+from repro.core.rcv_cache import CachePolicy, RCVCache
+from repro.core.task import Task, TaskEnv, TaskStatus
+from repro.core.task_store import TaskStore
+from repro.core.tracing import NullTraceLog, TaskEvent, TraceLog
+from repro.graph.graph import VertexData
+from repro.sim.cluster import Cluster, Node
+
+
+@dataclass
+class _PendingPull:
+    """A CMQ entry: a task waiting for remote candidates."""
+
+    task: Task
+    remaining: Set[int] = field(default_factory=set)  # vids not yet available
+    parked: Set[int] = field(default_factory=set)  # vids owned by down workers
+
+
+@dataclass
+class WorkerStats:
+    """Counters reported in benchmark tables and tests."""
+
+    tasks_seeded: int = 0
+    tasks_completed: int = 0
+    tasks_migrated_in: int = 0
+    tasks_migrated_out: int = 0
+    rounds_executed: int = 0
+    pulls_sent: int = 0
+    vertices_pulled: int = 0
+    re_pulls: int = 0
+    steal_requests: int = 0
+    checkpoints: int = 0
+
+
+class SimWorker:
+    """One G-Miner worker process on a simulated node."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        node: Node,
+        cluster: Cluster,
+        config: GMinerConfig,
+        app: GMinerApp,
+        controller: "JobControllerProtocol",
+        owner_of: Callable[[int], int],
+        aggregator_state: Optional[AggregatorState],
+        master_endpoint: int,
+    ) -> None:
+        self.worker_id = worker_id
+        self.node = node
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config
+        self.app = app
+        self.controller = controller
+        self.owner_of = owner_of
+        self.agg = aggregator_state
+        self.master_endpoint = master_endpoint
+
+        self.vertex_table: Dict[int, VertexData] = {}
+        lsh = MinHashLSH(config.lsh_signature_size) if config.enable_lsh else None
+        self.store = TaskStore(
+            disk=node.disk,
+            block_tasks=config.store_block_tasks,
+            lsh=lsh,
+            on_alloc=lambda n: self._alloc(n, "task store"),
+            on_free=node.free,
+            notify=self._pump_retriever,
+            block_bytes=config.store_block_bytes,
+        )
+        # §5.1: one process per node shares one cache (the default);
+        # multi-process deployment splits the budget into independent
+        # per-process caches with no sharing between them.
+        k = config.processes_per_node
+        self.caches = [
+            RCVCache(
+                capacity_bytes=config.cache_capacity_bytes // k,
+                policy=CachePolicy(config.cache_policy),
+                on_alloc=lambda n: self._alloc(n, "RCV cache"),
+                on_free=node.free,
+            )
+            for _ in range(k)
+        ]
+        self.cmq: Dict[int, _PendingPull] = {}
+        self.inflight: Dict[int, List[int]] = {}  # vid -> waiting task ids
+        self.task_buffer: List[Task] = []
+        self.live_tasks: Dict[int, Task] = {}
+        self.results: Dict[int, Any] = {}
+        self.overflow: Dict[int, Tuple[VertexData, int]] = {}  # cache-bypass slots
+        self.down_workers: Set[int] = set()
+        # copies of tasks migrated out, kept so they can be re-injected
+        # if the destination dies before checkpointing them (§7): task
+        # results are deterministic and deduplicated by task id, so
+        # re-running a migrated task is always safe
+        self.sent_tasks: Dict[int, List[Task]] = {}
+        self.stats = WorkerStats()
+        self._steal_pending = False
+        self._checkpoint: Optional[Dict[str, Any]] = None
+        self._seeding_done = False
+        self.hdfs = None  # set by GMinerJob (checkpoint target)
+        self.trace: TraceLog = NullTraceLog()  # replaced by GMinerJob
+
+        cluster.network.register_handler(worker_id, self._on_message)
+
+    def _emit(self, task_id: int, event: TaskEvent, detail: float = 0.0) -> None:
+        self.trace.emit(self.sim.now, self.worker_id, task_id, event, detail)
+
+    # ------------------------------------------------------------------
+    # memory helpers
+    # ------------------------------------------------------------------
+
+    def _alloc(self, nbytes: int, what: str) -> None:
+        self.node.allocate(nbytes, what=f"worker {self.worker_id} {what}")
+
+    def _account_task(self, task: Task) -> None:
+        size = task.estimate_size()
+        setattr(task, "_accounted_size", size)
+        self._alloc(size, "task")
+
+    def _unaccount_task(self, task: Task) -> None:
+        self.node.free(getattr(task, "_accounted_size", task.estimate_size()))
+
+    @property
+    def cache(self) -> RCVCache:
+        """The (first) process cache; the full list is ``caches``."""
+        return self.caches[0]
+
+    def _cache_of(self, task_id: int) -> RCVCache:
+        """The cache of the process a task is pinned to (by id)."""
+        return self.caches[task_id % len(self.caches)]
+
+    def _reaccount_task(self, task: Task) -> None:
+        old = getattr(task, "_accounted_size", 0)
+        new = task.estimate_size()
+        if new > old:
+            self._alloc(new - old, "task growth")
+        else:
+            self.node.free(old - new)
+        setattr(task, "_accounted_size", new)
+
+    # ------------------------------------------------------------------
+    # setup: partition loading and task seeding
+    # ------------------------------------------------------------------
+
+    def load_partition(self, vertices: Dict[int, VertexData]) -> None:
+        """Install the partition assigned to this worker."""
+        self.vertex_table = dict(vertices)
+        total = sum(v.estimate_size() for v in vertices.values())
+        self._alloc(total, "vertex table")
+
+    def seed_tasks(self, chunk_size: int = 256) -> None:
+        """Run the task generator: scan the vertex table, create one
+        task per qualifying seed (§5.1).  Scanning is charged to the
+        compute pool in chunks so seeding itself is parallel."""
+        vids = sorted(self.vertex_table)
+        if not vids:
+            self._seeding_done = True
+            self.controller.seeding_finished(self.worker_id)
+            return
+        chunks = [vids[i : i + chunk_size] for i in range(0, len(vids), chunk_size)]
+        remaining = {"n": len(chunks)}
+
+        for chunk in chunks:
+
+            def factory(chunk=chunk):
+                work = 0.0
+                tasks: List[Task] = []
+                for vid in chunk:
+                    vertex = self.vertex_table[vid]
+                    work += self.app.seed_cost(vertex)
+                    task = self.app.make_task(vertex)
+                    if task is not None:
+                        task.owner_worker = self.worker_id
+                        tasks.append(task)
+
+                def done():
+                    for task in tasks:
+                        self.stats.tasks_seeded += 1
+                        self.controller.task_created()
+                        self.live_tasks[task.task_id] = task
+                        self._account_task(task)
+                        self._emit(task.task_id, TaskEvent.SEEDED)
+                        self._route(task)
+                    remaining["n"] -= 1
+                    if remaining["n"] == 0:
+                        self._seeding_done = True
+                        self.controller.seeding_finished(self.worker_id)
+                        self._flush_buffer(force=True)
+
+                return (work, done)
+
+            self.node.cores.submit_lazy(factory)
+
+    # ------------------------------------------------------------------
+    # routing: where does a task go after an update round?
+    # ------------------------------------------------------------------
+
+    def _remote_needed(self, task: Task) -> List[int]:
+        return [v for v in task.to_pull if v not in self.vertex_table]
+
+    def _route(self, task: Task) -> None:
+        """Apply the task-lifetime rules (§4.2) after a round."""
+        if task.finished:
+            self._kill(task)
+            return
+        remote = self._remote_needed(task)
+        if not remote:
+            # no remote candidate: next round directly, no status change
+            task.status = TaskStatus.ACTIVE
+            self._enqueue_ready(task, front=True)
+            return
+        task.status = TaskStatus.INACTIVE
+        task.to_pull = set(remote)
+        self._emit(task.task_id, TaskEvent.BUFFERED)
+        self.task_buffer.append(task)
+        if len(self.task_buffer) >= self.config.task_buffer_batch:
+            self._flush_buffer(force=True)
+
+    def _flush_buffer(self, force: bool = False) -> None:
+        if not self.task_buffer:
+            return
+        if not force and len(self.task_buffer) < self.config.task_buffer_batch:
+            return
+        batch, self.task_buffer = self.task_buffer, []
+        for task in batch:
+            self._emit(task.task_id, TaskEvent.STORED)
+        self.store.insert_batch(batch)
+        self._pump_retriever()
+
+    def _kill(self, task: Task) -> None:
+        task.status = TaskStatus.DEAD
+        self._emit(task.task_id, TaskEvent.FINISHED)
+        self.live_tasks.pop(task.task_id, None)
+        if task.result is not None:
+            self.results[task.task_id] = task.result
+        self._unaccount_task(task)
+        self.stats.tasks_completed += 1
+        self.controller.task_dead()
+
+    # ------------------------------------------------------------------
+    # candidate retriever (§4.3)
+    # ------------------------------------------------------------------
+
+    def _pump_retriever(self) -> None:
+        if not self.node.alive:
+            return
+        cpq_limit = self.config.cpq_per_core * self.node.cores.cores
+        while (
+            len(self.cmq) < self.config.max_inflight_tasks
+            and self.node.cores.queued < cpq_limit
+        ):
+            task = self.store.pop()
+            if task is None:
+                break
+            self._process_dequeued(task)
+        if len(self.store) == 0 and not self.store.loading:
+            self._flush_buffer(force=False)
+        self._maybe_request_steal()
+
+    def _process_dequeued(self, task: Task) -> None:
+        self._emit(task.task_id, TaskEvent.DEQUEUED)
+        held: Set[int] = getattr(task, "_held_refs", set())
+        need_pull: List[int] = []
+        for vid in sorted(task.to_pull):
+            if vid in held:
+                continue
+            cache = self._cache_of(task.task_id)
+            if cache.lookup(vid) is not None:
+                cache.addref(vid)
+                held.add(vid)
+            elif vid in self.overflow:
+                data, refs = self.overflow[vid]
+                self.overflow[vid] = (data, refs + 1)
+                held.add(vid)
+            else:
+                need_pull.append(vid)
+        setattr(task, "_held_refs", held)
+        if not need_pull:
+            self._mark_ready(task)
+            return
+        pending = _PendingPull(task=task, remaining=set(need_pull))
+        self._emit(task.task_id, TaskEvent.PULL_ISSUED, detail=len(need_pull))
+        self.cmq[task.task_id] = pending
+        by_owner: Dict[int, List[int]] = {}
+        for vid in need_pull:
+            waiters = self.inflight.get(vid)
+            if waiters is not None:
+                waiters.append(task.task_id)
+                continue  # someone already pulled this vid
+            self.inflight[vid] = [task.task_id]
+            owner = self.owner_of(vid)
+            if owner in self.down_workers:
+                pending.parked.add(vid)
+            else:
+                by_owner.setdefault(owner, []).append(vid)
+        for owner, vids in sorted(by_owner.items()):
+            self._send_pull(owner, vids)
+
+    def _send_pull(self, owner: int, vids: List[int]) -> None:
+        request = PullRequest(requester=self.worker_id, vids=tuple(sorted(vids)))
+        self.stats.pulls_sent += 1
+        self.cluster.network.send(
+            self.worker_id, owner, request.size_bytes(), request
+        )
+
+    def _on_pull_response(self, response: PullResponse) -> None:
+        ready: List[Task] = []
+        for data in response.vertices:
+            self.stats.vertices_pulled += 1
+            waiters = self.inflight.pop(data.vid, [])
+            live_waiters = [t for t in waiters if t in self.cmq]
+            # without cross-process sharing each waiting task's process
+            # stores its own copy (the §5.1 multi-process cost); the
+            # default single process inserts once with the full count
+            by_process: Dict[int, List[int]] = {}
+            for task_id in live_waiters:
+                by_process.setdefault(task_id % len(self.caches), []).append(task_id)
+            stored_everywhere = True
+            for process, group in sorted(by_process.items()):
+                if not self.caches[process].insert(data, refs=len(group)):
+                    stored_everywhere = False
+            if not live_waiters:
+                # every waiter died in flight: cache opportunistically,
+                # nothing to pin
+                self.caches[0].insert(data, refs=0)
+            elif not stored_everywhere:
+                # a cache cannot make room (all entries referenced, or
+                # the vertex alone exceeds capacity): bypass into
+                # overflow so the pipeline never deadlocks (§7's
+                # "sleep" case).
+                size = data.estimate_size()
+                self._alloc(size, "cache overflow")
+                self.overflow[data.vid] = (data, len(live_waiters))
+            for task_id in live_waiters:
+                pending = self.cmq[task_id]
+                held = getattr(pending.task, "_held_refs", set())
+                held.add(data.vid)
+                setattr(pending.task, "_held_refs", held)
+                pending.remaining.discard(data.vid)
+                pending.parked.discard(data.vid)
+                if not pending.remaining:
+                    ready.append(pending.task)
+        for task in ready:
+            self.cmq.pop(task.task_id, None)
+            self._mark_ready(task)
+        self._pump_retriever()
+
+    def _mark_ready(self, task: Task) -> None:
+        task.status = TaskStatus.READY
+        self._emit(task.task_id, TaskEvent.READY)
+        self._enqueue_ready(task)
+
+    # ------------------------------------------------------------------
+    # task executor (§4.3)
+    # ------------------------------------------------------------------
+
+    def _enqueue_ready(self, task: Task, front: bool = False) -> None:
+        self.node.cores.submit_lazy(lambda: self._execute(task), front=front)
+
+    def _gather(self, task: Task) -> Tuple[Dict[int, VertexData], List[int]]:
+        """Collect candidate vertex objects; report evicted ones."""
+        cand_objs: Dict[int, VertexData] = {}
+        missing: List[int] = []
+        for vid in task.candidates:
+            local = self.vertex_table.get(vid)
+            if local is not None:
+                cand_objs[vid] = local
+                continue
+            cached = self._cache_of(task.task_id).peek(vid)
+            if cached is not None:
+                cand_objs[vid] = cached
+                continue
+            over = self.overflow.get(vid)
+            if over is not None:
+                cand_objs[vid] = over[0]
+                continue
+            missing.append(vid)
+        return cand_objs, missing
+
+    def _execute(self, task: Task) -> Tuple[float, Callable[[], None]]:
+        """Core-start callback: run one real update round."""
+        if not self.node.alive or task.task_id not in self.live_tasks:
+            return (0.0, lambda: None)
+        cand_objs, missing = self._gather(task)
+        if missing:
+            # a candidate was evicted (lru/fifo ablation) — re-pull it
+            self.stats.re_pulls += 1
+
+            def requeue():
+                self._release_refs(task)
+                task.status = TaskStatus.INACTIVE
+                task.to_pull = set(missing)
+                self.task_buffer.append(task)
+                self._flush_buffer(force=True)
+
+            return (1.0, requeue)
+        task.status = TaskStatus.ACTIVE
+        env = TaskEnv(
+            worker_id=self.worker_id,
+            aggregated=self.agg.best_known if self.agg else None,
+            push=self.agg.offer if self.agg else None,
+        )
+        work = task.run_round(cand_objs, env)
+        self.stats.rounds_executed += 1
+        self._emit(task.task_id, TaskEvent.EXECUTED, detail=task.round)
+
+        def done():
+            if not self.node.alive:
+                return
+            self._release_refs(task)
+            self._reaccount_task(task)
+            children = task.spawn()
+            for child in children:
+                child.owner_worker = self.worker_id
+                self.controller.task_created()
+                self.live_tasks[child.task_id] = child
+                self._account_task(child)
+                self._route(child)
+            if (
+                self.config.enable_splitting
+                and not task.finished
+                and len(task.candidates) > self.config.split_candidate_threshold
+            ):
+                parts = task.split()
+                if parts:
+                    for part in parts:
+                        part.owner_worker = self.worker_id
+                        self.controller.task_created()
+                        self.live_tasks[part.task_id] = part
+                        self._account_task(part)
+                        self._route(part)
+                    task.finish()
+            self._route(task)
+            if self.node.cores.queued == 0:
+                self._flush_buffer(force=True)
+            self._pump_retriever()
+
+        return (work, done)
+
+    def _release_refs(self, task: Task) -> None:
+        held: Set[int] = getattr(task, "_held_refs", set())
+        cache = self._cache_of(task.task_id)
+        for vid in held:
+            if vid in self.overflow:
+                data, refs = self.overflow[vid]
+                if refs <= 1:
+                    del self.overflow[vid]
+                    self.node.free(data.estimate_size())
+                else:
+                    self.overflow[vid] = (data, refs - 1)
+            else:
+                cache.release(vid)
+        setattr(task, "_held_refs", set())
+
+    # ------------------------------------------------------------------
+    # idle detection & task stealing (§6.2)
+    # ------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self._seeding_done
+            and len(self.store) == 0
+            and not self.store.loading
+            and not self.cmq
+            and not self.task_buffer
+            and self.node.cores.busy_cores == 0
+            and self.node.cores.queued == 0
+        )
+
+    def _maybe_request_steal(self) -> None:
+        if (
+            not self.config.enable_stealing
+            or self._steal_pending
+            or self.controller.finished
+            or not self.idle
+        ):
+            return
+        self._steal_pending = True
+        self.stats.steal_requests += 1
+        request = StealRequest(worker=self.worker_id)
+        self.cluster.network.send(
+            self.worker_id, self.master_endpoint, request.size_bytes(), request
+        )
+
+    def migrate_tasks_to(self, dest: int, count: int) -> None:
+        """MIGRATE handler on the victim: ship tasks from the store tail."""
+
+        def local_rate(task: Task) -> float:
+            return task.local_rate(len(self._remote_needed(task)))
+
+        tasks = self.store.steal_batch(
+            limit=count,
+            cost_threshold=self.config.steal_cost_threshold,
+            local_rate_threshold=self.config.steal_local_rate_threshold,
+            local_rate_fn=local_rate,
+        )
+        if not tasks:
+            notice = NoTask(source=self.worker_id)
+            self.cluster.network.send(
+                self.worker_id, dest, notice.size_bytes(), notice
+            )
+            return
+        for task in tasks:
+            self.live_tasks.pop(task.task_id, None)
+            self._unaccount_task(task)
+            self.stats.tasks_migrated_out += 1
+            self._emit(task.task_id, TaskEvent.MIGRATED_OUT, detail=dest)
+            self.sent_tasks.setdefault(dest, []).append(copy.deepcopy(task))
+        migration = TaskMigration(source=self.worker_id, tasks=tasks)
+        self.cluster.network.send(
+            self.worker_id, dest, migration.size_bytes(), migration
+        )
+
+    def _on_migration(self, migration: TaskMigration) -> None:
+        self._steal_pending = False
+        for task in migration.tasks:
+            task.owner_worker = self.worker_id
+            self.stats.tasks_migrated_in += 1
+            self._emit(task.task_id, TaskEvent.MIGRATED_IN, detail=migration.source)
+            self.live_tasks[task.task_id] = task
+            self._account_task(task)
+            task.status = TaskStatus.INACTIVE
+            # what is "remote" changed with the move: recompute the
+            # pull set relative to this worker's partition
+            task.to_pull = set(self._remote_needed_from_candidates(task))
+            self.task_buffer.append(task)
+        self._flush_buffer(force=True)
+
+    def _remote_needed_from_candidates(self, task: Task) -> List[int]:
+        return [v for v in task.candidates if v not in self.vertex_table]
+
+    def _on_no_task(self) -> None:
+        self._steal_pending = False
+        if self.controller.finished or not self.idle:
+            return
+        self.sim.schedule(
+            self.config.steal_retry_interval, self._maybe_request_steal
+        )
+
+    # ------------------------------------------------------------------
+    # progress / aggregation (§5.1)
+    # ------------------------------------------------------------------
+
+    def progress_snapshot(self) -> ProgressReport:
+        return ProgressReport(
+            worker=self.worker_id,
+            store_size=len(self.store),
+            cmq_size=len(self.cmq),
+            cpq_size=self.node.cores.queued,
+            busy_cores=self.node.cores.busy_cores,
+            buffer_size=len(self.task_buffer),
+            idle=self.idle,
+        )
+
+    def send_progress(self) -> None:
+        if not self.node.alive:
+            return
+        report = self.progress_snapshot()
+        self.cluster.network.send(
+            self.worker_id, self.master_endpoint, report.size_bytes(), report
+        )
+
+    def send_agg_report(self) -> None:
+        if self.agg is None or not self.node.alive:
+            return
+        report = AggReport(worker=self.worker_id, partial=self.agg.local_partial)
+        self.cluster.network.send(
+            self.worker_id, self.master_endpoint, report.size_bytes(), report
+        )
+
+    # ------------------------------------------------------------------
+    # fault tolerance (§7)
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self, hdfs, epoch: int) -> None:
+        """Snapshot live tasks + results + aggregator partial to HDFS."""
+        if not self.node.alive:
+            return
+        self._flush_buffer(force=True)
+        snapshot = {
+            "tasks": [copy.deepcopy(t) for t in self.live_tasks.values()],
+            "results": dict(self.results),
+            "agg_partial": copy.deepcopy(self.agg.local_partial) if self.agg else None,
+        }
+        size = sum(t.estimate_size() for t in self.live_tasks.values()) + 64 * (
+            len(self.results) + 1
+        )
+        self._checkpoint = snapshot
+        self.stats.checkpoints += 1
+        hdfs.write(f"ckpt/{epoch}/worker-{self.worker_id}", snapshot, size)
+        self.node.disk.write(size, lambda: None)
+
+    def on_failure(self) -> int:
+        """The node died: all volatile state is gone.  Returns the number
+        of live tasks lost (the controller removes them from the global
+        count until recovery restores the checkpoint)."""
+        lost = len(self.live_tasks)
+        self.live_tasks.clear()
+        self.cmq.clear()
+        self.inflight.clear()
+        self.task_buffer.clear()
+        self.overflow.clear()
+        self.store.drain_all()
+        for cache in self.caches:
+            cache.drop_all()
+        self.results.clear()
+        self._steal_pending = False
+        return lost
+
+    def recover(self, hdfs, recovery_latency_cb: Optional[Callable[[], None]] = None) -> int:
+        """Reload partition + checkpoint and resume.  Returns the number
+        of tasks restored into the live set."""
+        total = sum(v.estimate_size() for v in self.vertex_table.values())
+        self._alloc(total, "vertex table reload")
+        if self._checkpoint is None:
+            # died before the first snapshot: restart this worker's
+            # share of the job from scratch by re-seeding
+            self._seeding_done = False
+            self.seed_tasks()
+            if recovery_latency_cb is not None:
+                recovery_latency_cb()
+            return 0
+        snapshot = self._checkpoint or {"tasks": [], "results": {}, "agg_partial": None}
+        restored = 0
+        self.results = dict(snapshot["results"])
+        if self.agg is not None and snapshot["agg_partial"] is not None:
+            self.agg.local_partial = copy.deepcopy(snapshot["agg_partial"])
+        for task in snapshot["tasks"]:
+            task = copy.deepcopy(task)
+            task.owner_worker = self.worker_id
+            self.live_tasks[task.task_id] = task
+            self._account_task(task)
+            task.status = TaskStatus.INACTIVE
+            self.task_buffer.append(task)
+            restored += 1
+        self._seeding_done = True
+        self._flush_buffer(force=True)
+        if recovery_latency_cb is not None:
+            recovery_latency_cb()
+        return restored
+
+    def on_worker_down(self, dead: int) -> None:
+        """Park pulls aimed at a dead worker until it comes back, and
+        re-inject any task this worker migrated to the casualty."""
+        self.down_workers.add(dead)
+        for vid, waiters in list(self.inflight.items()):
+            if self.owner_of(vid) != dead:
+                continue
+            for task_id in waiters:
+                pending = self.cmq.get(task_id)
+                if pending is not None and vid in pending.remaining:
+                    pending.parked.add(vid)
+        for task in self.sent_tasks.pop(dead, []):
+            if task.task_id in self.live_tasks:
+                continue
+            task.owner_worker = self.worker_id
+            self.controller.task_created()
+            self.live_tasks[task.task_id] = task
+            self._account_task(task)
+            task.status = TaskStatus.INACTIVE
+            self.task_buffer.append(task)
+        self._flush_buffer(force=True)
+
+    def on_worker_up(self, recovered: int) -> None:
+        """Re-issue pulls that were parked while ``recovered`` was down."""
+        self.down_workers.discard(recovered)
+        reissue: Set[int] = set()
+        for pending in self.cmq.values():
+            for vid in sorted(pending.parked):
+                if self.owner_of(vid) == recovered:
+                    pending.parked.discard(vid)
+                    reissue.add(vid)
+        if reissue:
+            self._send_pull(recovered, sorted(reissue))
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        payload = message.payload
+        if isinstance(payload, PullRequest):
+            vertices = tuple(
+                self.vertex_table[vid]
+                for vid in payload.vids
+                if vid in self.vertex_table
+            )
+            response = PullResponse(vertices=vertices)
+            self.cluster.network.send(
+                self.worker_id, payload.requester, response.size_bytes(), response
+            )
+        elif isinstance(payload, PullResponse):
+            self._on_pull_response(payload)
+        elif isinstance(payload, TaskMigration):
+            self._on_migration(payload)
+        elif isinstance(payload, NoTask):
+            self._on_no_task()
+        elif isinstance(payload, AggBroadcast):
+            if self.agg is not None:
+                self.agg.receive_global(payload.value)
+        elif isinstance(payload, MigrateCommand):
+            self.migrate_tasks_to(payload.dest, payload.count)
+        elif isinstance(payload, CheckpointCommand):
+            if self.hdfs is not None:
+                self.take_checkpoint(self.hdfs, payload.epoch)
+        elif isinstance(payload, WorkerDown):
+            self.on_worker_down(payload.worker)
+        elif isinstance(payload, WorkerUp):
+            self.on_worker_up(payload.worker)
+        else:
+            raise TypeError(f"worker cannot handle {type(payload).__name__}")
+
+
+class JobControllerProtocol:
+    """What workers need from the job controller (documented interface)."""
+
+    finished: bool
+
+    def task_created(self) -> None:
+        raise NotImplementedError
+
+    def task_dead(self) -> None:
+        raise NotImplementedError
+
+    def seeding_finished(self, worker_id: int) -> None:
+        raise NotImplementedError

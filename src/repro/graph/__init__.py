@@ -1,0 +1,49 @@
+"""Graph substrate: structures, I/O, generators and dataset registry.
+
+Provides the data the mining systems operate on.  The paper's datasets
+(Table 2) are closed or cluster-scale; :mod:`repro.graph.datasets`
+registers seeded synthetic stand-ins whose *relative* sizes, degree
+skew and attribute structure mirror the originals.
+"""
+
+from repro.graph.graph import Graph, VertexData
+from repro.graph.attributes import AttributeSpace, jaccard_similarity, weighted_similarity
+from repro.graph.io import load_adjacency_text, dump_adjacency_text, parse_vertex_line
+from repro.graph.generators import (
+    preferential_attachment_graph,
+    rmat_graph,
+    planted_partition_graph,
+    random_labels,
+    random_attributes,
+)
+from repro.graph.datasets import DATASETS, DatasetInfo, load_dataset, dataset_table
+from repro.graph.algorithms import (
+    bfs_levels,
+    connected_components_hashmin,
+    degree_histogram,
+    triangle_count_exact,
+)
+
+__all__ = [
+    "Graph",
+    "VertexData",
+    "AttributeSpace",
+    "jaccard_similarity",
+    "weighted_similarity",
+    "load_adjacency_text",
+    "dump_adjacency_text",
+    "parse_vertex_line",
+    "preferential_attachment_graph",
+    "rmat_graph",
+    "planted_partition_graph",
+    "random_labels",
+    "random_attributes",
+    "DATASETS",
+    "DatasetInfo",
+    "load_dataset",
+    "dataset_table",
+    "bfs_levels",
+    "connected_components_hashmin",
+    "degree_histogram",
+    "triangle_count_exact",
+]

@@ -1,0 +1,75 @@
+"""Interoperability with NetworkX.
+
+Downstream users usually already hold graphs as ``networkx`` objects;
+these converters move them in and out of :class:`repro.graph.Graph`
+(labels ↔ the ``"label"`` node attribute, attribute lists ↔ ``"attrs"``).
+NetworkX is an optional dependency: importing this module without it
+raises ``ImportError`` with a clear message, and the rest of the
+library never needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.graph.graph import Graph
+
+try:  # pragma: no cover - exercised via the import error test
+    import networkx as _nx
+except ImportError:  # pragma: no cover
+    _nx = None
+
+
+def _require_networkx():
+    if _nx is None:
+        raise ImportError(
+            "networkx is required for repro.graph.interop; install it or "
+            "use repro.graph.io / repro.graph.generators instead"
+        )
+    return _nx
+
+
+def from_networkx(nx_graph: Any) -> Graph:
+    """Convert a networkx (di)graph to a :class:`Graph`.
+
+    Direction is dropped (G-Miner's discussion focuses on undirected
+    graphs); node ids must be integers.  A node's ``"label"`` attribute
+    becomes the mining label; ``"attrs"`` (an iterable of ints) becomes
+    the attribute list.
+    """
+    _require_networkx()
+    for node in nx_graph.nodes:
+        if not isinstance(node, int):
+            raise ValueError(
+                f"vertex ids must be integers (got {node!r}); "
+                "relabel with networkx.convert_node_labels_to_integers"
+            )
+    graph = Graph.from_edges(nx_graph.edges(), vertices=nx_graph.nodes())
+    for node, data in nx_graph.nodes(data=True):
+        label = data.get("label")
+        if label is not None:
+            graph.set_label(node, str(label))
+        attrs = data.get("attrs")
+        if attrs is not None:
+            graph.set_attributes(node, [int(a) for a in attrs])
+    return graph
+
+
+def to_networkx(graph: Graph) -> Any:
+    """Convert a :class:`Graph` to an undirected networkx graph."""
+    nx = _require_networkx()
+    out = nx.Graph()
+    for vid in graph.vertices():
+        node_attrs = {}
+        label = graph.label(vid)
+        if label is not None:
+            node_attrs["label"] = label
+        attrs = graph.attributes(vid)
+        if attrs:
+            node_attrs["attrs"] = list(attrs)
+        out.add_node(vid, **node_attrs)
+    for vid in graph.vertices():
+        for u in graph.neighbors(vid):
+            if u > vid:
+                out.add_edge(vid, u)
+    return out

@@ -1,0 +1,105 @@
+"""Text I/O for graphs.
+
+G-Miner loads graph data from HDFS as text lines, one vertex per line,
+parsed by the user's ``vtxParser`` (Listing 1).  We implement the same
+format for real files and for the simulated HDFS:
+
+    vid \t n1 n2 n3 ... [\t L=<label>] [\t A=a1,a2,...]
+
+The adjacency section lists neighbor IDs separated by spaces; the
+optional ``L=`` section carries a label and ``A=`` an attribute list.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+from repro.graph.graph import Graph, VertexData
+
+
+def format_vertex_line(data: VertexData) -> str:
+    """Serialise one vertex to the text format."""
+    parts = [str(data.vid), " ".join(str(n) for n in data.neighbors)]
+    if data.label is not None:
+        parts.append(f"L={data.label}")
+    if data.attributes:
+        parts.append("A=" + ",".join(str(a) for a in data.attributes))
+    return "\t".join(parts)
+
+
+def parse_vertex_line(line: str) -> VertexData:
+    """Parse one vertex line (the default ``vtxParser``)."""
+    line = line.strip()
+    if not line:
+        raise ValueError("empty vertex line")
+    fields = line.split("\t")
+    vid = int(fields[0])
+    # a lone ID is an isolated vertex (its adjacency field is empty)
+    neighbor_field = fields[1].strip() if len(fields) > 1 else ""
+    neighbors = (
+        tuple(sorted(int(t) for t in neighbor_field.split())) if neighbor_field else ()
+    )
+    label: Optional[str] = None
+    attributes: Tuple[int, ...] = ()
+    for extra in fields[2:]:
+        extra = extra.strip()
+        if extra.startswith("L="):
+            label = extra[2:]
+        elif extra.startswith("A="):
+            body = extra[2:].strip()
+            if body:
+                attributes = tuple(int(t) for t in body.split(","))
+        elif extra:
+            raise ValueError(f"unknown vertex field {extra!r} in line {line!r}")
+    return VertexData(vid=vid, neighbors=neighbors, label=label, attributes=attributes)
+
+
+def dump_adjacency_text(graph: Graph, target: Union[str, TextIO]) -> None:
+    """Write ``graph`` in the one-vertex-per-line text format."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            dump_adjacency_text(graph, fh)
+        return
+    for vid in graph.vertices():
+        target.write(format_vertex_line(graph.vertex_data(vid)))
+        target.write("\n")
+
+
+def load_adjacency_text(source: Union[str, TextIO, Iterable[str]]) -> Graph:
+    """Load a graph from the text format.
+
+    ``source`` may be a path, a file object, or any iterable of lines.
+    Adjacency is symmetrised: if ``u`` lists ``v``, the edge exists even
+    when ``v``'s line omits ``u``.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_adjacency_text(fh)
+    adj: Dict[int, List[int]] = {}
+    labels: Dict[int, str] = {}
+    attrs: Dict[int, Tuple[int, ...]] = {}
+    for raw in source:
+        if not raw.strip():
+            continue
+        data = parse_vertex_line(raw)
+        adj[data.vid] = list(data.neighbors)
+        if data.label is not None:
+            labels[data.vid] = data.label
+        if data.attributes:
+            attrs[data.vid] = data.attributes
+    graph = Graph.from_adjacency(adj)
+    for vid, label in labels.items():
+        if graph.has_vertex(vid):
+            graph.set_label(vid, label)
+    for vid, a in attrs.items():
+        if graph.has_vertex(vid):
+            graph.set_attributes(vid, a)
+    return graph
+
+
+def graph_to_lines(graph: Graph) -> List[str]:
+    """Serialise a graph to a list of lines (for the simulated HDFS)."""
+    buffer = io.StringIO()
+    dump_adjacency_text(graph, buffer)
+    return buffer.getvalue().splitlines()

@@ -1,0 +1,74 @@
+"""Pure graph-mining kernels.
+
+System-independent algorithm cores shared by the G-Miner applications
+(:mod:`repro.apps`), the baseline systems (:mod:`repro.baselines`) and
+the test suite's ground-truth oracles.  Each kernel operates on plain
+adjacency mappings assembled by its caller and charges its work to a
+:class:`~repro.mining.cost.WorkMeter`, which is how real computation is
+translated into simulated time.
+"""
+
+from repro.mining.cost import WorkMeter, Budget, BudgetExceeded
+from repro.mining.graphlets import (
+    classify_graphlet,
+    graphlet_count_sequential,
+    graphlets_for_seed,
+    merge_histograms,
+)
+from repro.mining.triangles import (
+    triangles_for_seed,
+    triangle_count_sequential,
+)
+from repro.mining.cliques import (
+    SharedBound,
+    max_clique_in_candidates,
+    max_clique_sequential,
+    maximal_cliques,
+)
+from repro.mining.patterns import TreePattern, PAPER_PATTERN
+from repro.mining.matching import (
+    count_embeddings_from_seed,
+    match_level,
+    graph_matching_sequential,
+)
+from repro.mining.community import (
+    CommunityParams,
+    CommunityGrower,
+    grow_community,
+    community_detection_sequential,
+)
+from repro.mining.clustering import (
+    FocusParams,
+    FocusedClusterGrower,
+    extract_focused_cluster,
+    focused_clustering_sequential,
+)
+
+__all__ = [
+    "WorkMeter",
+    "Budget",
+    "BudgetExceeded",
+    "triangles_for_seed",
+    "triangle_count_sequential",
+    "classify_graphlet",
+    "graphlet_count_sequential",
+    "graphlets_for_seed",
+    "merge_histograms",
+    "SharedBound",
+    "max_clique_in_candidates",
+    "max_clique_sequential",
+    "maximal_cliques",
+    "TreePattern",
+    "PAPER_PATTERN",
+    "count_embeddings_from_seed",
+    "match_level",
+    "graph_matching_sequential",
+    "CommunityParams",
+    "CommunityGrower",
+    "grow_community",
+    "community_detection_sequential",
+    "FocusParams",
+    "FocusedClusterGrower",
+    "extract_focused_cluster",
+    "focused_clustering_sequential",
+]

@@ -1,0 +1,172 @@
+"""Maximum-clique kernels (the paper's MCF application).
+
+Implements the branch-and-bound search of Tomita & Seki [33] that the
+paper uses: expand the current clique with pivot-free greedy-colouring
+bounds, pruning any branch that cannot beat the best clique found so
+far.  The *shared* bound object is how the paper's superlinear speedup
+arises (§3): every worker prunes with the globally best clique size, so
+parallel search shrinks everyone's search space.
+
+For G-Miner, the task seeded at vertex ``v`` searches cliques whose
+minimum vertex is ``v`` (candidates are the higher-ID neighbours), so
+each maximum clique is found exactly once and per-seed tasks stay
+independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.mining.cost import WorkMeter
+
+
+class SharedBound:
+    """The globally-best clique size, shared for pruning.
+
+    In distributed runs the aggregator periodically synchronises worker
+    copies (so a worker may briefly prune with a stale bound — exactly
+    the paper's semantics).  ``record`` keeps the best clique itself for
+    reporting.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        self.value = initial
+        self.best_clique: Tuple[int, ...] = ()
+
+    def record(self, clique: Sequence[int]) -> bool:
+        """Offer a clique; returns True when it improves the bound."""
+        if len(clique) > self.value:
+            self.value = len(clique)
+            self.best_clique = tuple(sorted(clique))
+            return True
+        return False
+
+    def merge(self, other: "SharedBound") -> None:
+        if other.value > self.value:
+            self.value = other.value
+            self.best_clique = other.best_clique
+
+
+def _greedy_color_bound(
+    candidates: List[int],
+    adjacency: Mapping[int, Set[int]],
+    meter: WorkMeter,
+) -> int:
+    """Greedy colouring upper bound on the clique number of ``candidates``."""
+    color_classes: List[Set[int]] = []
+    for v in candidates:
+        placed = False
+        for cls in color_classes:
+            meter.charge()
+            if not (adjacency[v] & cls):
+                cls.add(v)
+                placed = True
+                break
+        if not placed:
+            color_classes.append({v})
+    return len(color_classes)
+
+
+def max_clique_in_candidates(
+    required: Sequence[int],
+    candidates: Iterable[int],
+    adjacency: Mapping[int, Set[int]],
+    bound: SharedBound,
+    meter: WorkMeter,
+) -> Optional[Tuple[int, ...]]:
+    """Find the largest clique = ``required`` + subset of ``candidates``.
+
+    ``adjacency`` must cover every candidate (restricted adjacency is
+    fine as long as it is symmetric within the candidate set).  Updates
+    ``bound`` as better cliques are found; returns the best clique this
+    call discovered, or ``None`` if pruned everywhere.
+    """
+    base = list(required)
+    best_found: Optional[Tuple[int, ...]] = None
+
+    def expand(current: List[int], cand: List[int]) -> None:
+        nonlocal best_found
+        meter.charge(len(cand) + 1)
+        if not cand:
+            if bound.record(current):
+                best_found = tuple(sorted(current))
+            return
+        # bound: even taking every candidate cannot beat the best
+        if len(current) + len(cand) <= bound.value:
+            return
+        # tighter colouring bound, worth computing on larger branches
+        if len(cand) > 4:
+            if len(current) + _greedy_color_bound(cand, adjacency, meter) <= bound.value:
+                return
+        # order candidates by degree within the candidate set (descending)
+        cand_set = set(cand)
+        ordered = sorted(
+            cand, key=lambda v: (-len(adjacency[v] & cand_set), v)
+        )
+        while ordered:
+            if len(current) + len(ordered) <= bound.value:
+                return
+            v = ordered.pop(0)
+            next_cand = [u for u in ordered if u in adjacency[v]]
+            meter.charge(len(ordered))
+            current.append(v)
+            expand(current, next_cand)
+            current.pop()
+
+    expand(base, list(candidates))
+    return best_found
+
+
+def max_clique_sequential(
+    adjacency: Mapping[int, Sequence[int]],
+    meter: WorkMeter,
+    bound: Optional[SharedBound] = None,
+) -> Tuple[int, ...]:
+    """Whole-graph maximum clique (single-thread baseline kernel).
+
+    Iterates seeds in degeneracy-friendly order (descending degree) so
+    the bound tightens early, mirroring an optimised sequential solver.
+    """
+    bound = bound or SharedBound()
+    seeds = sorted(adjacency, key=lambda v: (-len(adjacency[v]), v))
+    adj_sets: Dict[int, Set[int]] = {v: set(ns) for v, ns in adjacency.items()}
+    for v in seeds:
+        higher = [u for u in adj_sets[v] if u > v]
+        if 1 + len(higher) <= bound.value:
+            meter.charge()
+            continue
+        local = {u: adj_sets[u] & set(higher) for u in higher}
+        local[v] = set(higher)
+        max_clique_in_candidates([v], higher, local, bound, meter)
+    return bound.best_clique
+
+
+def maximal_cliques(
+    adjacency: Mapping[int, Sequence[int]],
+    meter: WorkMeter,
+    min_size: int = 1,
+) -> List[Tuple[int, ...]]:
+    """Enumerate all maximal cliques (Bron–Kerbosch with pivoting).
+
+    Used by tests as a ground-truth oracle and by the Arabesque-like
+    baseline model, whose embedding exploration effectively enumerates
+    cliques level by level.
+    """
+    adj: Dict[int, Set[int]] = {v: set(ns) for v, ns in adjacency.items()}
+    out: List[Tuple[int, ...]] = []
+
+    def bk(r: Set[int], p: Set[int], x: Set[int]) -> None:
+        meter.charge(len(p) + len(x) + 1)
+        if not p and not x:
+            if len(r) >= min_size:
+                out.append(tuple(sorted(r)))
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda v: (len(adj[v] & p), -v))
+        for v in sorted(p - adj[pivot]):
+            bk(r | {v}, p & adj[v], x & adj[v])
+            p = p - {v}
+            x = x | {v}
+
+    bk(set(), set(adj), set())
+    return sorted(out)

@@ -1,0 +1,78 @@
+"""Work accounting: the bridge between real computation and virtual time.
+
+Every kernel charges one *work unit* per basic operation (an adjacency
+probe, a similarity evaluation, a candidate expansion).  The simulated
+core pools retire work units at a fixed rate
+(:data:`repro.sim.cluster.DEFAULT_CORE_SPEED`), so the units a kernel
+reports become the simulated seconds the paper's tables report.
+
+:class:`Budget` additionally enforces a ceiling, so model systems that
+would run "longer than 24 hours" (the paper's "-" entries) abort early
+instead of actually burning that much real CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BudgetExceeded(Exception):
+    """Raised when a kernel exceeds its work budget mid-computation."""
+
+    def __init__(self, spent: float, limit: float):
+        self.spent = spent
+        self.limit = limit
+        super().__init__(f"work budget exceeded: {spent:.3g} of {limit:.3g} units")
+
+
+class WorkMeter:
+    """Accumulates work units charged by kernels."""
+
+    __slots__ = ("units",)
+
+    def __init__(self) -> None:
+        self.units = 0.0
+
+    def charge(self, units: float = 1.0) -> None:
+        self.units += units
+
+    def take(self) -> float:
+        """Return accumulated units and reset (per-round accounting)."""
+        units = self.units
+        self.units = 0.0
+        return units
+
+
+class Budget(WorkMeter):
+    """A work meter that raises :class:`BudgetExceeded` past ``limit``.
+
+    ``check_interval`` controls how often the limit is tested — charging
+    is on every hot-loop iteration, so the comparison is amortised.
+    """
+
+    __slots__ = ("limit", "_check_every", "_until_check")
+
+    def __init__(self, limit: float, check_interval: int = 1024) -> None:
+        super().__init__()
+        if limit <= 0:
+            raise ValueError("budget limit must be positive")
+        self.limit = limit
+        self._check_every = max(1, check_interval)
+        self._until_check = self._check_every
+
+    def charge(self, units: float = 1.0) -> None:
+        self.units += units
+        self._until_check -= 1
+        if self._until_check <= 0:
+            self._until_check = self._check_every
+            if self.units > self.limit:
+                raise BudgetExceeded(self.units, self.limit)
+
+    def check(self) -> None:
+        """Force an immediate limit test."""
+        if self.units > self.limit:
+            raise BudgetExceeded(self.units, self.limit)
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.limit - self.units)

@@ -1,0 +1,88 @@
+"""Query patterns for graph matching.
+
+The paper's GM application matches a rooted, level-labelled tree
+pattern against the data graph (Figure 1): the seed matches the root's
+label, each round matches the next level's labels among the candidates,
+and the candidates for round ``r+1`` are the data-graph neighbours of
+the vertices matched to the level-``r`` pattern nodes that have
+children.
+
+A :class:`TreePattern` stores, per level, the list of pattern nodes as
+``(label, parent_index_in_previous_level)`` pairs.  Embeddings must map
+pattern nodes to *distinct* data vertices whose labels match and whose
+parent edges exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """One pattern vertex: its label and its parent's index one level up."""
+
+    label: str
+    parent: int = 0
+
+
+@dataclass(frozen=True)
+class TreePattern:
+    """A rooted tree pattern described level by level.
+
+    ``levels[0]`` is implicit: the root, with ``root_label``.
+    ``levels[r]`` lists the nodes at depth ``r+1``; each node's
+    ``parent`` indexes into the previous level (with the root being the
+    sole index-0 node of level 0).
+    """
+
+    root_label: str
+    levels: Tuple[Tuple[PatternNode, ...], ...] = ()
+
+    @property
+    def depth(self) -> int:
+        """Number of expansion rounds needed (= number of child levels)."""
+        return len(self.levels)
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 + sum(len(level) for level in self.levels)
+
+    def level_nodes(self, round_index: int) -> Tuple[PatternNode, ...]:
+        """Pattern nodes to match in round ``round_index`` (1-based)."""
+        if not 1 <= round_index <= self.depth:
+            raise IndexError(f"round {round_index} out of range 1..{self.depth}")
+        return self.levels[round_index - 1]
+
+    def validate(self) -> None:
+        prev_size = 1
+        for depth, level in enumerate(self.levels, start=1):
+            if not level:
+                raise ValueError(f"level {depth} is empty")
+            for node in level:
+                if not 0 <= node.parent < prev_size:
+                    raise ValueError(
+                        f"level {depth} node {node} has bad parent index"
+                    )
+            prev_size = len(level)
+
+
+def make_pattern(root_label: str, *levels: Sequence[Tuple[str, int]]) -> TreePattern:
+    """Convenience constructor: ``make_pattern('a', [('b',0),('c',0)], ...)``."""
+    built = tuple(
+        tuple(PatternNode(label=lbl, parent=parent) for lbl, parent in level)
+        for level in levels
+    )
+    pattern = TreePattern(root_label=root_label, levels=built)
+    pattern.validate()
+    return pattern
+
+
+#: The query pattern of the paper's Figure 1 and Table 4: root labelled
+#: 'a' with children 'b' and 'c'; the 'c' node has children 'd' and 'e'.
+PAPER_PATTERN = make_pattern(
+    "a",
+    [("b", 0), ("c", 0)],
+    [("d", 1), ("e", 1)],
+)

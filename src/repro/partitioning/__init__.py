@@ -1,0 +1,27 @@
+"""Graph partitioning: static load balancing (paper §6.1).
+
+Two strategies, matching the paper's Figure 11 comparison:
+
+* :class:`HashPartitioner` — the default most systems use; destroys
+  locality.
+* :class:`BDGPartitioner` — Block-based Deterministic Greedy: BFS
+  colouring into locality-preserving blocks, a Hash-Min fixup for tiny
+  connected components, then deterministic greedy block assignment
+  (Eq. 1).
+
+Both produce a :class:`PartitionAssignment` mapping vertices to
+workers, and report the (simulated) time the partitioning itself took,
+since Figure 11 charges that against BDG.
+"""
+
+from repro.partitioning.assignment import PartitionAssignment
+from repro.partitioning.hash_partitioner import HashPartitioner
+from repro.partitioning.bdg import BDGPartitioner, Block, bfs_color_blocks
+
+__all__ = [
+    "PartitionAssignment",
+    "HashPartitioner",
+    "BDGPartitioner",
+    "Block",
+    "bfs_color_blocks",
+]

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate for the G-Miner reproduction.
+
+The paper evaluates G-Miner on a real 15-node cluster.  This package
+replaces that cluster with a deterministic discrete-event simulation:
+simulated CPU cores, a network fabric with latency and bandwidth, and
+per-node disks.  Mining algorithms execute for real; only *time* is
+virtual, charged from explicit cost models.  This keeps every quantity
+the paper reports (elapsed time, CPU/network/disk utilisation, memory
+footprint, bytes transferred) well-defined and reproducible in Python,
+where the GIL would otherwise make thread-level parallelism unfaithful.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.cluster import ClusterSpec, Node, build_cluster
+from repro.sim.cpu import CorePool
+from repro.sim.network import Network
+from repro.sim.disk import Disk
+from repro.sim.hdfs import SimulatedHDFS
+from repro.sim.metrics import ResourceMeter, UtilizationTimeline
+from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.errors import SimulatedOOMError, SimulatedTimeLimitExceeded
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ClusterSpec",
+    "Node",
+    "build_cluster",
+    "CorePool",
+    "Network",
+    "Disk",
+    "SimulatedHDFS",
+    "ResourceMeter",
+    "UtilizationTimeline",
+    "FailureInjector",
+    "FailurePlan",
+    "SimulatedOOMError",
+    "SimulatedTimeLimitExceeded",
+]

@@ -1,0 +1,169 @@
+"""Cluster specification and node construction.
+
+Mirrors the paper's testbed (§8.1): 15 nodes on Gigabit Ethernet, each
+with 48 GB RAM, 24 virtual cores and a SATA disk.  A :class:`ClusterSpec`
+captures those parameters (scaled memory by default — our graphs are
+~10³× smaller than the paper's); :func:`build_cluster` materialises the
+simulated nodes, their core pools, disks and the shared network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.sim.cpu import CorePool
+from repro.sim.disk import Disk
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulatedOOMError
+from repro.sim.metrics import MemoryGauge
+from repro.sim.network import Network
+
+#: Work units one core retires per second.  A "work unit" is one basic
+#: mining operation (e.g. one adjacency membership probe).  The value
+#: is calibrated so that the *ratio* of computation to communication on
+#: our ~10³×-scaled graphs matches the paper's regime, where mining is
+#: strongly CPU-bound (a single thread needed 24 hours for MCF on
+#: Orkut).  Real hardware retires ~5M such ops/s; because our graphs
+#: carry proportionally far less work per pulled byte, the simulated
+#: cores are slowed so compute still dominates the pipeline.
+DEFAULT_CORE_SPEED = 1e5
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of a simulated cluster."""
+
+    num_nodes: int = 15
+    cores_per_node: int = 24
+    #: Scaled stand-in for the testbed's 48 GB/node: our graphs carry
+    #: ~2000-3000x fewer edges than the paper's Orkut, so ~16 MB/node
+    #: preserves the ratio of graph state to memory that decides which
+    #: systems OOM.
+    memory_per_node: int = 16 * 10**6
+    core_speed: float = DEFAULT_CORE_SPEED
+    #: Network and disk are scaled down by the same ~50x factor as the
+    #: cores (see DEFAULT_CORE_SPEED): the paper's conclusions are about
+    #: the *ratio* of computation to communication and I/O, so slowing
+    #: only the cores would make the network unrealistically free and
+    #: erase the effects (pull stalls, overlap benefits) the system is
+    #: designed around.  Base hardware: GbE (125 MB/s, ~100 µs) and a
+    #: 10 krpm SATA disk (~150/120 MB/s, ~5 ms).
+    #: Latency scales by ~5x (not 50x): per-*task* compute also shrank
+    #: with the graphs, so scaling latency by the full factor would make
+    #: a pull round-trip dwarf a task round, a regime the paper never
+    #: operates in.  Bandwidth scales with total work (~50x).
+    net_latency: float = 5e-4
+    net_bandwidth: float = 2.5e6
+    disk_read_bandwidth: float = 3e6
+    disk_write_bandwidth: float = 2.4e6
+    disk_latency: float = 1e-2
+
+    def with_nodes(self, num_nodes: int) -> "ClusterSpec":
+        return replace(self, num_nodes=num_nodes)
+
+    def with_cores(self, cores_per_node: int) -> "ClusterSpec":
+        return replace(self, cores_per_node=cores_per_node)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+
+class Node:
+    """One simulated machine: cores + disk + a memory gauge with a limit."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.cores = CorePool(
+            sim, name=f"cpu-{node_id}", cores=spec.cores_per_node, speed=spec.core_speed
+        )
+        self.disk = Disk(
+            sim,
+            node_id,
+            read_bandwidth=spec.disk_read_bandwidth,
+            write_bandwidth=spec.disk_write_bandwidth,
+            latency=spec.disk_latency,
+        )
+        self.memory = MemoryGauge(name=f"mem-{node_id}")
+        self.memory_limit = spec.memory_per_node
+        self.alive = True
+
+    def allocate(self, nbytes: int, what: str = "") -> None:
+        """Account an allocation; raises :class:`SimulatedOOMError` on overflow."""
+        self.memory.allocate(nbytes)
+        if self.memory.current > self.memory_limit:
+            raise SimulatedOOMError(
+                self.node_id, self.memory.current, self.memory_limit, what
+            )
+
+    def free(self, nbytes: int) -> None:
+        self.memory.free(nbytes)
+
+    def fail(self) -> None:
+        """Kill the node: halt cores and disk, drop queued work."""
+        self.alive = False
+        self.cores.halt()
+        self.disk.halt()
+
+    def recover(self) -> None:
+        self.alive = True
+        self.memory.current = 0
+        self.cores.resume()
+        self.disk.resume()
+
+
+@dataclass
+class Cluster:
+    """A built cluster: simulator, nodes and the shared network."""
+
+    sim: Simulator
+    spec: ClusterSpec
+    nodes: List[Node]
+    network: Network
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def cpu_utilization(self, start: float, end: float) -> float:
+        """Mean CPU utilisation across all nodes over ``[start, end]``."""
+        if not self.nodes:
+            return 0.0
+        total = sum(n.cores.utilization(start, end) for n in self.nodes)
+        return total / len(self.nodes)
+
+    def disk_utilization(self, start: float, end: float) -> float:
+        if not self.nodes:
+            return 0.0
+        total = sum(n.disk.utilization(start, end) for n in self.nodes)
+        return total / len(self.nodes)
+
+    def peak_memory_bytes(self) -> int:
+        return sum(n.memory.peak for n in self.nodes)
+
+    def network_gigabytes(self) -> float:
+        return self.network.bytes_counter.gigabytes
+
+
+def build_cluster(
+    spec: ClusterSpec,
+    sim: Optional[Simulator] = None,
+    extra_network_endpoints: int = 0,
+) -> Cluster:
+    """Construct all simulated nodes plus the shared network fabric.
+
+    ``extra_network_endpoints`` adds network-only participants beyond
+    the worker nodes — G-Miner's master is one: it coordinates over the
+    network but its negligible compute is not modelled as a node.
+    """
+    sim = sim or Simulator()
+    network = Network(
+        sim,
+        num_nodes=spec.num_nodes + extra_network_endpoints,
+        latency=spec.net_latency,
+        bandwidth=spec.net_bandwidth,
+    )
+    nodes = [Node(sim, node_id, spec) for node_id in range(spec.num_nodes)]
+    return Cluster(sim=sim, spec=spec, nodes=nodes, network=network)

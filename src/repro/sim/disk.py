@@ -1,0 +1,94 @@
+"""Simulated per-node disk.
+
+Models a single SATA spindle (the paper's nodes each have one 10krpm
+SATA disk): requests pay a fixed seek/setup latency plus a transfer
+delay, and the disk services one request at a time.  The task store
+uses this to spill and load task blocks, and the checkpointer uses it
+for snapshot writes; both costs are meant to be *hidden* under CPU work
+by the task pipeline, which Figure 6 demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ByteCounter, ResourceMeter
+
+
+class Disk:
+    """One node's disk with FIFO request servicing.
+
+    Parameters
+    ----------
+    read_bandwidth / write_bandwidth:
+        Bytes per second for sequential transfers.
+    latency:
+        Per-request positioning overhead in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        read_bandwidth: float = 150e6,
+        write_bandwidth: float = 120e6,
+        latency: float = 5e-3,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.read_bandwidth = read_bandwidth
+        self.write_bandwidth = write_bandwidth
+        self.latency = latency
+        self.meter = ResourceMeter(name=f"disk-{node_id}", capacity=1)
+        self.bytes_read = ByteCounter(name=f"disk-read-{node_id}")
+        self.bytes_written = ByteCounter(name=f"disk-write-{node_id}")
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self._halted = False
+
+    def halt(self) -> None:
+        self._halted = True
+        self._queue.clear()
+
+    def resume(self) -> None:
+        self._halted = False
+        self._pump()
+
+    def read(self, size_bytes: int, on_done: Callable[[], None]) -> None:
+        """Queue a read of ``size_bytes``; ``on_done`` fires at completion."""
+        if size_bytes < 0:
+            raise ValueError("read size cannot be negative")
+        self.bytes_read.add(size_bytes)
+        duration = self.latency + size_bytes / self.read_bandwidth
+        self._queue.append((duration, on_done))
+        self._pump()
+
+    def write(self, size_bytes: int, on_done: Callable[[], None]) -> None:
+        """Queue a write of ``size_bytes``; ``on_done`` fires at completion."""
+        if size_bytes < 0:
+            raise ValueError("write size cannot be negative")
+        self.bytes_written.add(size_bytes)
+        duration = self.latency + size_bytes / self.write_bandwidth
+        self._queue.append((duration, on_done))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or self._halted or not self._queue:
+            return
+        duration, on_done = self._queue.popleft()
+        self._busy = True
+        token = self.meter.begin(self.sim.now)
+
+        def finish():
+            self._busy = False
+            self.meter.end(self.sim.now, token)
+            if not self._halted:
+                on_done()
+            self._pump()
+
+        self.sim.schedule(duration, finish)
+
+    def utilization(self, start: float, end: float) -> float:
+        return self.meter.utilization(start, end)

@@ -1,0 +1,89 @@
+"""Failure injection for fault-tolerance experiments.
+
+The paper's recovery story (§7): when a slave dies, the master re-runs
+the dead worker's tasks from the previous checkpoint while live workers
+keep going, and task stealing re-spreads the recovered load.  A
+:class:`FailurePlan` schedules node kills (and optional recoveries) at
+chosen simulated times so those paths can be exercised and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Kill ``node_id`` at ``at_time``; recover after ``recovery_delay``
+    seconds unless it is ``None`` (permanent failure)."""
+
+    node_id: int
+    at_time: float
+    recovery_delay: Optional[float] = None
+
+
+@dataclass
+class FailurePlan:
+    """An ordered collection of failure events."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def kill(self, node_id: int, at_time: float, recovery_delay: Optional[float] = None):
+        self.events.append(FailureEvent(node_id, at_time, recovery_delay))
+        return self
+
+    def __iter__(self):
+        return iter(sorted(self.events, key=lambda e: e.at_time))
+
+
+class FailureInjector:
+    """Arms a :class:`FailurePlan` against a built cluster.
+
+    ``on_fail``/``on_recover`` hooks let the distributed system react
+    (e.g. the G-Miner master noticing a missing progress report and
+    triggering checkpoint recovery).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plan: FailurePlan,
+        on_fail: Optional[Callable[[int], None]] = None,
+        on_recover: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.on_fail = on_fail
+        self.on_recover = on_recover
+        self.failures_triggered: List[FailureEvent] = []
+
+    def arm(self) -> None:
+        """Schedule every failure event on the cluster's simulator."""
+        for event in self.plan:
+            self.cluster.sim.schedule_at(
+                event.at_time, lambda e=event: self._trigger(e)
+            )
+
+    def _trigger(self, event: FailureEvent) -> None:
+        node = self.cluster.node(event.node_id)
+        if not node.alive:
+            return
+        node.fail()
+        self.cluster.network.set_node_down(event.node_id, True)
+        self.failures_triggered.append(event)
+        if self.on_fail is not None:
+            self.on_fail(event.node_id)
+        if event.recovery_delay is not None:
+            self.cluster.sim.schedule(
+                event.recovery_delay, lambda: self._recover(event.node_id)
+            )
+
+    def _recover(self, node_id: int) -> None:
+        node = self.cluster.node(node_id)
+        node.recover()
+        self.cluster.network.set_node_down(node_id, False)
+        if self.on_recover is not None:
+            self.on_recover(node_id)

@@ -1,0 +1,112 @@
+"""Simulated HDFS.
+
+G-Miner uses HDFS as its persistent store: workers load graph
+partitions from it at startup, dump results to it at the end, and the
+fault-tolerance machinery writes periodic snapshots to it (§7).  We
+model it as a replicated in-memory key→bytes store whose reads and
+writes pay the local disk cost plus, for remote replicas, network cost.
+
+Contents survive node failures (that is the point of HDFS), which is
+what makes checkpoint-based recovery possible in the fault-tolerance
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class _StoredObject:
+    size_bytes: int
+    payload: Any
+
+
+class SimulatedHDFS:
+    """Replicated persistent store with an I/O cost model.
+
+    Cost model: a write of ``n`` bytes takes ``n / write_bandwidth``
+    seconds times the replication factor (pipelined replication keeps
+    this roughly linear); a read streams at ``read_bandwidth``.  All
+    requests also pay a fixed ``latency``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replication: int = 3,
+        read_bandwidth: float = 4e6,
+        write_bandwidth: float = 2e6,
+        latency: float = 2e-3,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.sim = sim
+        self.replication = replication
+        self.read_bandwidth = read_bandwidth
+        self.write_bandwidth = write_bandwidth
+        self.latency = latency
+        self._objects: Dict[str, _StoredObject] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def exists(self, path: str) -> bool:
+        return path in self._objects
+
+    def size(self, path: str) -> int:
+        return self._objects[path].size_bytes
+
+    def paths(self):
+        return sorted(self._objects)
+
+    def write(
+        self,
+        path: str,
+        payload: Any,
+        size_bytes: int,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Store ``payload`` under ``path``; returns the virtual duration.
+
+        When ``on_done`` is given it is scheduled at completion time;
+        synchronous callers may instead use the returned duration.
+        """
+        if size_bytes < 0:
+            raise ValueError("size cannot be negative")
+        self._objects[path] = _StoredObject(size_bytes=size_bytes, payload=payload)
+        self.bytes_written += size_bytes * self.replication
+        duration = self.latency + size_bytes * self.replication / self.write_bandwidth
+        if on_done is not None:
+            self.sim.schedule(duration, on_done)
+        return duration
+
+    def read(
+        self,
+        path: str,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> float:
+        """Read ``path``; returns the virtual duration.
+
+        ``on_done`` receives the stored payload at completion time.
+        """
+        obj = self._objects.get(path)
+        if obj is None:
+            raise FileNotFoundError(f"no such HDFS path: {path}")
+        self.bytes_read += obj.size_bytes
+        duration = self.latency + obj.size_bytes / self.read_bandwidth
+        if on_done is not None:
+            self.sim.schedule(duration, lambda: on_done(obj.payload))
+        return duration
+
+    def read_now(self, path: str) -> Any:
+        """Fetch a payload without charging time (test/setup helper)."""
+        obj = self._objects.get(path)
+        if obj is None:
+            raise FileNotFoundError(f"no such HDFS path: {path}")
+        return obj.payload
+
+    def delete(self, path: str) -> None:
+        self._objects.pop(path, None)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Small deterministic graphs and cluster specs keep the tests fast; the
+scaled datasets (`*-s`) are reserved for the integration tests that
+compare distributed results against sequential oracles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import preferential_attachment_graph, random_labels
+from repro.graph.graph import Graph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 6-vertex graph with two triangles sharing an edge plus a tail.
+
+    Edges: triangle (0,1,2), triangle (1,2,3), path 3-4-5.
+    """
+    return Graph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+    )
+
+
+@pytest.fixture
+def small_social_graph():
+    """A seeded 120-vertex clustered graph for pipeline tests."""
+    return preferential_attachment_graph(
+        n=120, m=6, triangle_prob=0.6, seed=42, max_degree=30
+    )
+
+
+@pytest.fixture
+def small_labeled_graph(small_social_graph):
+    random_labels(small_social_graph, alphabet=tuple("abcde"), seed=3)
+    return small_social_graph
+
+
+@pytest.fixture
+def small_spec():
+    """A small cluster for fast end-to-end job tests."""
+    return ClusterSpec(num_nodes=4, cores_per_node=2)
+
+
+def adjacency_of(graph: Graph):
+    return {v: graph.neighbors(v) for v in graph.vertices()}
+
+
+def labels_of(graph: Graph):
+    return {v: graph.label(v) for v in graph.vertices()}
+
+
+def attributes_of(graph: Graph):
+    return {v: graph.attributes(v) for v in graph.vertices()}

@@ -1,0 +1,176 @@
+"""Unit tests for the five application Task classes, driven directly
+(without the distributed runtime) through their round protocol."""
+
+import pytest
+
+from repro.apps.community_detection import CDTask, CommunityDetectionApp
+from repro.apps.graph_clustering import GCTask, GraphClusteringApp
+from repro.apps.graph_matching import GMTask, GraphMatchingApp
+from repro.apps.maximal_clique import MCFTask, MaxCliqueApp
+from repro.apps.triangle_counting import TCTask, TriangleCountingApp
+from repro.core.task import TaskEnv
+from repro.graph.graph import Graph, VertexData
+from repro.mining.community import CommunityParams
+from repro.mining.patterns import PAPER_PATTERN, make_pattern
+
+
+def drive(task, graph, env=None, max_rounds=200):
+    """Feed a task its pulled data straight from the graph until done."""
+    env = env or TaskEnv(worker_id=0)
+    rounds = 0
+    while not task.finished:
+        rounds += 1
+        assert rounds <= max_rounds, "task did not terminate"
+        cand_objs = {
+            vid: graph.vertex_data(vid)
+            for vid in task.candidates
+            if graph.has_vertex(vid)
+        }
+        task.run_round(cand_objs, env)
+    return task.result
+
+
+class TestTCTask:
+    def test_counts_seed_triangles(self, tiny_graph):
+        task = TCTask(tiny_graph.vertex_data(0))
+        assert drive(task, tiny_graph) == 1
+
+    def test_single_round(self, tiny_graph):
+        task = TCTask(tiny_graph.vertex_data(1))
+        drive(task, tiny_graph)
+        assert task.round == 1
+
+    def test_app_skips_hopeless_seeds(self, tiny_graph):
+        app = TriangleCountingApp()
+        assert app.make_task(tiny_graph.vertex_data(5)) is None  # degree 1
+        assert app.make_task(tiny_graph.vertex_data(0)) is not None
+
+    def test_app_combination(self):
+        assert TriangleCountingApp().combine_results([1, None, 2]) == 3
+
+
+class TestMCFTask:
+    def test_finds_clique_containing_seed(self, tiny_graph):
+        task = MCFTask(tiny_graph.vertex_data(0))
+        result = drive(task, tiny_graph)
+        assert result == (0, 1, 2)
+
+    def test_pruned_by_global_bound(self, tiny_graph):
+        task = MCFTask(tiny_graph.vertex_data(0))
+        env = TaskEnv(worker_id=0, aggregated=10)  # unbeatable bound
+        result = drive(task, tiny_graph, env)
+        assert result is None
+
+    def test_pushes_improvement_to_aggregator(self, tiny_graph):
+        pushed = []
+        task = MCFTask(tiny_graph.vertex_data(0))
+        env = TaskEnv(worker_id=0, aggregated=0, push=pushed.append)
+        drive(task, tiny_graph, env)
+        assert pushed == [3]
+
+    def test_app_skips_max_vid(self, tiny_graph):
+        app = MaxCliqueApp()
+        assert app.make_task(tiny_graph.vertex_data(5)) is None
+
+    def test_app_combination_picks_largest(self):
+        app = MaxCliqueApp()
+        assert app.combine_results([(1, 2), None, (3, 4, 5)]) == (3, 4, 5)
+
+
+class TestGMTask:
+    @pytest.fixture
+    def labeled(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (2, 3), (2, 4)])
+        g.set_labels({0: "a", 1: "b", 2: "c", 3: "d", 4: "e"})
+        return g
+
+    def test_full_pattern_match(self, labeled):
+        task = GMTask(labeled.vertex_data(0), PAPER_PATTERN)
+        assert drive(task, labeled) == 1
+
+    def test_rounds_equal_pattern_depth(self, labeled):
+        task = GMTask(labeled.vertex_data(0), PAPER_PATTERN)
+        drive(task, labeled)
+        assert task.round == PAPER_PATTERN.depth
+
+    def test_dead_end_finishes_early(self, labeled):
+        pattern = make_pattern("a", [("z", 0)])
+        task = GMTask(labeled.vertex_data(0), pattern)
+        assert drive(task, labeled) is None
+
+    def test_app_seeds_only_root_label(self, labeled):
+        app = GraphMatchingApp()
+        assert app.make_task(labeled.vertex_data(0)) is not None
+        assert app.make_task(labeled.vertex_data(1)) is None
+
+    def test_split_preserves_total(self, labeled):
+        # give the root two 'c' children paths so partials fan out
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 5), (2, 3), (2, 4), (5, 6), (5, 7)])
+        g.set_labels({0: "a", 1: "b", 2: "c", 3: "d", 4: "e",
+                      5: "c", 6: "d", 7: "e"})
+        whole = GMTask(g.vertex_data(0), PAPER_PATTERN)
+        drive(whole, g)
+        total = whole.result
+
+        task = GMTask(g.vertex_data(0), PAPER_PATTERN)
+        env = TaskEnv(worker_id=0)
+        cand = {v: g.vertex_data(v) for v in task.candidates}
+        task.run_round(cand, env)  # round 1: partials fan out
+        children = task.split()
+        assert children and len(children) == 2
+        child_total = 0
+        for child in children:
+            drive(child, g)
+            child_total += child.result or 0
+        assert child_total == total
+
+    def test_split_refuses_single_partial(self, labeled):
+        task = GMTask(labeled.vertex_data(0), PAPER_PATTERN)
+        assert task.split() is None
+
+    def test_context_size_grows_with_partials(self, labeled):
+        task = GMTask(labeled.vertex_data(0), PAPER_PATTERN)
+        before = task.context_size()
+        env = TaskEnv(worker_id=0)
+        cand = {v: labeled.vertex_data(v) for v in task.candidates}
+        task.run_round(cand, env)
+        assert task.context_size() > before
+
+
+class TestCDTask:
+    @pytest.fixture
+    def clique_graph(self):
+        g = Graph.from_edges([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        for v in g.vertices():
+            g.set_attributes(v, [1, 2])
+        return g
+
+    def test_reports_community_at_min_seed(self, clique_graph):
+        params = CommunityParams(tau=0.5, gamma=0.5, min_size=3, max_size=8)
+        task = CDTask(clique_graph.vertex_data(0), params)
+        assert drive(task, clique_graph) == (0, 1, 2, 3)
+
+    def test_non_min_seed_reports_none(self, clique_graph):
+        params = CommunityParams(tau=0.5, gamma=0.5, min_size=3, max_size=8)
+        task = CDTask(clique_graph.vertex_data(2), params)
+        assert drive(task, clique_graph) is None
+
+    def test_app_skips_isolated(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        g.set_attributes(2, [1])
+        assert CommunityDetectionApp().make_task(g.vertex_data(2)) is None
+
+
+class TestGCTask:
+    def test_focused_cluster_via_app(self):
+        g = Graph.from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        for v in g.vertices():
+            g.set_attributes(v, [1, 2])
+        app = GraphClusteringApp([[1, 2], [1, 2]])
+        task = app.make_task(g.vertex_data(0))
+        result = drive(task, g)
+        assert result == (0, 1, 2, 3, 4)
+
+    def test_app_requires_exemplars(self):
+        with pytest.raises(ValueError):
+            GraphClusteringApp([])

@@ -1,0 +1,95 @@
+"""Unit tests for attribute spaces and similarity measures."""
+
+import pytest
+
+from repro.graph.attributes import (
+    AttributeSpace,
+    infer_attribute_weights,
+    jaccard_similarity,
+    overlap_count,
+    weighted_similarity,
+)
+
+
+class TestAttributeSpace:
+    def test_encode_decode_roundtrip(self):
+        space = AttributeSpace(dimensions=5, values_per_dimension=10)
+        for dim in range(5):
+            for value in (1, 5, 10):
+                attr = space.encode(dim, value)
+                assert space.decode(attr) == (dim, value)
+
+    def test_describe(self):
+        space = AttributeSpace()
+        assert space.describe(space.encode(0, 7)) == "A7"
+        assert space.describe(space.encode(4, 10)) == "E10"
+
+    def test_bounds_checked(self):
+        space = AttributeSpace(dimensions=2, values_per_dimension=3)
+        with pytest.raises(ValueError):
+            space.encode(2, 1)
+        with pytest.raises(ValueError):
+            space.encode(0, 0)
+        with pytest.raises(ValueError):
+            space.encode(0, 4)
+
+    def test_total_values(self):
+        assert AttributeSpace(dimensions=4, values_per_dimension=20).total_values == 80
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_overlap_count(self):
+        assert overlap_count([1, 2, 3], [2, 3, 9]) == 2
+
+
+class TestWeightedSimilarity:
+    def test_only_weighted_attrs_count(self):
+        weights = {1: 1.0}
+        # unfocused 2 and 3 dilute the denominator slightly
+        assert weighted_similarity([1, 2], [1, 3], weights) == pytest.approx(
+            1.0 / 1.06, abs=1e-6
+        )
+
+    def test_mismatched_weighted_attr_penalises(self):
+        weights = {1: 0.5, 2: 0.5}
+        # share 1, differ on 2 (9 is unfocused: denominator-only)
+        assert weighted_similarity([1, 2], [1, 9], weights) == pytest.approx(
+            0.5 / 1.03, abs=1e-6
+        )
+
+    def test_unfocused_shared_attrs_score_nothing(self):
+        # identical attribute lists outside the focus: similarity 0
+        assert weighted_similarity([8, 9], [8, 9], {1: 1.0}) == 0.0
+
+    def test_no_weights_zero(self):
+        assert weighted_similarity([1], [1], {}) == 0.0
+
+
+class TestInferWeights:
+    def test_consensus_attribute_dominates(self):
+        exemplars = [[1, 2], [1, 3], [1, 4]]
+        weights = infer_attribute_weights(exemplars)
+        assert weights[1] > weights[2]
+        assert weights[1] > weights[3]
+
+    def test_weights_normalised(self):
+        weights = infer_attribute_weights([[1, 2], [2, 3]])
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_empty_exemplars(self):
+        assert infer_attribute_weights([]) == {}
+
+    def test_exemplars_without_attributes(self):
+        assert infer_attribute_weights([[], []]) == {}

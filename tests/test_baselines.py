@@ -1,0 +1,188 @@
+"""Tests for the baseline system models (paper §2, §8.2)."""
+
+import pytest
+
+from repro.apps import MaxCliqueApp, TriangleCountingApp
+from repro.baselines import (
+    BatchSubgraphSystem,
+    EmbeddingExploreSystem,
+    SingleThreadSystem,
+    VertexCentricSystem,
+)
+from repro.baselines.common import GraphView, UnsupportedWorkload
+from repro.core.job import JobStatus
+from repro.graph.algorithms import triangle_count_exact
+from repro.graph.datasets import load_dataset
+from repro.mining.cliques import max_clique_sequential
+from repro.mining.cost import WorkMeter
+from repro.sim.cluster import ClusterSpec
+from tests.conftest import adjacency_of
+
+
+SPEC = ClusterSpec(num_nodes=4, cores_per_node=2)
+
+
+class TestGraphView:
+    def test_materialises_all_fields(self, small_labeled_graph):
+        view = GraphView.of(small_labeled_graph)
+        assert len(view.adjacency) == small_labeled_graph.num_vertices
+        assert view.labels[0] == small_labeled_graph.label(0)
+
+
+class TestSingleThread:
+    def test_tc_exact(self, small_social_graph):
+        result = SingleThreadSystem().run("tc", small_social_graph)
+        assert result.ok
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.cpu_utilization == 1.0
+        assert result.network_bytes == 0
+
+    def test_mcf_exact(self, small_social_graph):
+        expected = max_clique_sequential(
+            adjacency_of(small_social_graph), WorkMeter()
+        )
+        result = SingleThreadSystem().run("mcf", small_social_graph)
+        assert len(result.value) == len(expected)
+
+    def test_all_five_workloads_supported(self, small_labeled_graph):
+        g = load_dataset("dblp-s").graph
+        st = SingleThreadSystem()
+        assert st.run("tc", g).ok
+        assert st.run("mcf", g).ok
+        assert st.run("gm", small_labeled_graph).ok
+        assert st.run("cd", g).ok
+        assert st.run("gc", g, exemplars=sorted(g.vertices())[:3]).ok
+
+    def test_time_proportional_to_work(self, small_social_graph):
+        fast = SingleThreadSystem(core_speed=1e6).run("tc", small_social_graph)
+        slow = SingleThreadSystem(core_speed=1e3).run("tc", small_social_graph)
+        assert slow.total_seconds == pytest.approx(fast.total_seconds * 1000)
+
+    def test_time_limit_aborts(self, small_social_graph):
+        result = SingleThreadSystem(
+            core_speed=1e3, time_limit=1e-4
+        ).run("tc", small_social_graph)
+        assert result.status is JobStatus.TIMEOUT
+
+    def test_unknown_workload_rejected(self, small_social_graph):
+        with pytest.raises(ValueError):
+            SingleThreadSystem().run("pagerank", small_social_graph)
+
+
+class TestVertexCentric:
+    def test_tc_exact_both_flavors(self, small_social_graph):
+        expected = triangle_count_exact(small_social_graph)
+        for flavor in ("giraph", "graphx"):
+            result = VertexCentricSystem(flavor, SPEC).run("tc", small_social_graph)
+            assert result.ok
+            assert result.value == expected
+
+    def test_mcf_exact(self, small_social_graph):
+        expected = max_clique_sequential(
+            adjacency_of(small_social_graph), WorkMeter()
+        )
+        result = VertexCentricSystem("giraph", SPEC).run("mcf", small_social_graph)
+        assert len(result.value) == len(expected)
+
+    def test_cannot_express_mining_apps(self, small_social_graph):
+        system = VertexCentricSystem("giraph", SPEC)
+        for app in ("gm", "cd", "gc"):
+            with pytest.raises(UnsupportedWorkload):
+                system.run(app, small_social_graph)
+
+    def test_giraph_ooms_on_neighborhood_blowup(self):
+        g = load_dataset("orkut-s").graph
+        tight = ClusterSpec(num_nodes=4, cores_per_node=2, memory_per_node=10**6)
+        result = VertexCentricSystem("giraph", tight).run("mcf", g)
+        assert result.status is JobStatus.OOM
+
+    def test_graphx_spills_instead_of_oom(self):
+        g = load_dataset("orkut-s").graph
+        tight = ClusterSpec(num_nodes=4, cores_per_node=2, memory_per_node=10**6)
+        result = VertexCentricSystem("graphx", tight, time_limit=None).run("mcf", g)
+        assert result.status is not JobStatus.OOM
+        assert result.disk_bytes > 0
+
+    def test_graphx_slower_than_giraph(self, small_social_graph):
+        giraph = VertexCentricSystem("giraph", SPEC).run("tc", small_social_graph)
+        graphx = VertexCentricSystem("graphx", SPEC).run("tc", small_social_graph)
+        assert graphx.total_seconds > giraph.total_seconds
+
+    def test_time_limit_enforced(self, small_social_graph):
+        result = VertexCentricSystem("giraph", SPEC, time_limit=1e-6).run(
+            "tc", small_social_graph
+        )
+        assert result.status is JobStatus.TIMEOUT
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            VertexCentricSystem("spark", SPEC)
+
+
+class TestEmbeddingExplore:
+    def test_tc_exact(self, small_social_graph):
+        result = EmbeddingExploreSystem(SPEC).run("tc", small_social_graph)
+        assert result.ok
+        assert result.value == triangle_count_exact(small_social_graph)
+
+    def test_mcf_finds_max_clique_on_small_graph(self, tiny_graph):
+        result = EmbeddingExploreSystem(SPEC).run("mcf", tiny_graph)
+        assert result.ok
+        assert len(result.value) == 3
+
+    def test_mcf_times_out_on_dense_graph(self):
+        g = load_dataset("orkut-s").graph
+        result = EmbeddingExploreSystem(SPEC, time_limit=0.5).run("mcf", g)
+        assert result.status is JobStatus.TIMEOUT
+
+    def test_unsupported_workloads(self, small_social_graph):
+        with pytest.raises(UnsupportedWorkload):
+            EmbeddingExploreSystem(SPEC).run("gm", small_social_graph)
+
+    def test_wasteful_candidates_tracked(self, small_social_graph):
+        result = EmbeddingExploreSystem(SPEC).run("tc", small_social_graph)
+        # expand-then-filter generates far more candidates than triangles
+        assert result.stats["candidates"] > 10 * result.value
+
+
+class TestBatchSubgraph:
+    def test_tc_exact(self, small_social_graph):
+        result = BatchSubgraphSystem(SPEC).run_app(
+            TriangleCountingApp(), small_social_graph
+        )
+        assert result.ok
+        assert result.value == triangle_count_exact(small_social_graph)
+
+    def test_mcf_exact(self, small_social_graph):
+        expected = max_clique_sequential(
+            adjacency_of(small_social_graph), WorkMeter()
+        )
+        result = BatchSubgraphSystem(SPEC).run_app(
+            MaxCliqueApp(), small_social_graph
+        )
+        assert len(result.value) == len(expected)
+
+    def test_phases_alternate(self, small_social_graph):
+        system = BatchSubgraphSystem(SPEC)
+        result = system.run_app(TriangleCountingApp(), small_social_graph)
+        assert result.stats["phases"] >= 2
+
+    def test_batch_cpu_utilization_suffers(self, small_social_graph):
+        """The barrier makes G-thinker-like CPU utilisation lower than
+        G-Miner's on the same workload — Table 4's headline contrast."""
+        from repro.core import GMinerConfig, GMinerJob
+
+        gt = BatchSubgraphSystem(SPEC).run_app(
+            TriangleCountingApp(), small_social_graph
+        )
+        gm = GMinerJob(
+            TriangleCountingApp(), small_social_graph, GMinerConfig(cluster=SPEC)
+        ).run()
+        assert gm.cpu_utilization > gt.cpu_utilization
+
+    def test_timeline_available(self, small_social_graph):
+        result = BatchSubgraphSystem(SPEC).run_app(
+            TriangleCountingApp(), small_social_graph
+        )
+        times, series = result.utilization_series(bins=10)
+        assert len(times) == 10 and "cpu" in series

@@ -1,0 +1,46 @@
+"""Unit tests for the user-facing GMinerApp base class."""
+
+import pytest
+
+from repro.core.api import GMinerApp
+from repro.graph.graph import VertexData
+
+
+class TestDefaults:
+    def test_vtx_parser_uses_text_format(self):
+        app = GMinerApp()
+        data = app.vtx_parser("5\t1 2\tL=a")
+        assert data == VertexData(vid=5, neighbors=(1, 2), label="a")
+
+    def test_make_task_abstract(self):
+        with pytest.raises(NotImplementedError):
+            GMinerApp().make_task(VertexData(vid=0, neighbors=()))
+
+    def test_default_aggregator_none(self):
+        assert GMinerApp().make_aggregator() is None
+
+    def test_combine_sorts_orderable_results(self):
+        assert GMinerApp().combine_results([3, None, 1, 2]) == [1, 2, 3]
+
+    def test_combine_handles_unorderable(self):
+        mixed = [1, "a", (2,)]
+        out = GMinerApp().combine_results(mixed)
+        assert sorted(map(str, out)) == sorted(map(str, mixed))
+
+    def test_seed_cost_positive(self):
+        assert GMinerApp().seed_cost(VertexData(vid=0, neighbors=())) > 0
+
+
+class TestOverflowPath:
+    def test_tiny_cache_routes_through_overflow(self, small_social_graph, small_spec):
+        """When the cache cannot hold pulled vertices, the worker's
+        overflow slots keep the pipeline alive (no deadlock)."""
+        from repro.apps import TriangleCountingApp
+        from repro.core import GMinerConfig, GMinerJob, JobStatus
+        from repro.graph.algorithms import triangle_count_exact
+
+        config = GMinerConfig(cluster=small_spec, cache_capacity_bytes=600)
+        result = GMinerJob(TriangleCountingApp(), small_social_graph, config).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.stats["overflow_inserts"] > 0

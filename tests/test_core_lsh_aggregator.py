@@ -1,0 +1,78 @@
+"""Unit tests for MinHash LSH keying and aggregators."""
+
+import pytest
+
+from repro.core.aggregator import (
+    AggregatorState,
+    MaxAggregator,
+    SumAggregator,
+)
+from repro.core.lsh import MinHashLSH
+
+
+class TestMinHash:
+    def test_deterministic(self):
+        a = MinHashLSH(4, seed=1)
+        b = MinHashLSH(4, seed=1)
+        assert a.signature({1, 5, 9}) == b.signature({1, 5, 9})
+
+    def test_identical_sets_identical_signatures(self):
+        lsh = MinHashLSH(4)
+        assert lsh.signature([3, 1, 2]) == lsh.signature([1, 2, 3])
+
+    def test_empty_set_signature(self):
+        lsh = MinHashLSH(4)
+        assert lsh.signature([]) == (0, 0, 0, 0)
+
+    def test_signature_length(self):
+        assert len(MinHashLSH(7).signature({1})) == 7
+
+    def test_similar_sets_agree_more(self):
+        lsh = MinHashLSH(32, seed=3)
+        base = set(range(100))
+        near = set(range(95)) | {200, 201, 202, 203, 204}
+        far = set(range(1000, 1100))
+        sim_near = MinHashLSH.similarity(lsh.signature(base), lsh.signature(near))
+        sim_far = MinHashLSH.similarity(lsh.signature(base), lsh.signature(far))
+        assert sim_near > sim_far
+
+    def test_similarity_estimates_jaccard(self):
+        lsh = MinHashLSH(256, seed=5)
+        a = set(range(100))
+        b = set(range(50, 150))  # true Jaccard = 50/150
+        est = MinHashLSH.similarity(lsh.signature(a), lsh.signature(b))
+        assert est == pytest.approx(1 / 3, abs=0.12)
+
+    def test_mismatched_signature_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MinHashLSH.similarity((1, 2), (1,))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            MinHashLSH(0)
+
+
+class TestAggregators:
+    def test_max(self):
+        agg = MaxAggregator()
+        assert agg.merge_all([3, 9, 1]) == 9
+        assert agg.merge_all([]) == 0
+
+    def test_sum(self):
+        agg = SumAggregator()
+        assert agg.merge_all([3, 9, 1]) == 13
+
+    def test_state_offer_and_global(self):
+        state = AggregatorState(MaxAggregator())
+        state.offer(5)
+        assert state.local_partial == 5
+        state.receive_global(9)
+        assert state.best_known == 9
+        state.offer(20)
+        assert state.best_known == 20
+
+    def test_state_global_monotone(self):
+        state = AggregatorState(MaxAggregator())
+        state.receive_global(10)
+        state.receive_global(4)  # stale broadcast cannot lower the view
+        assert state.global_value == 10

@@ -1,0 +1,144 @@
+"""Unit tests for the Reference-Counting Vertex Cache (paper §7)."""
+
+import pytest
+
+from repro.core.rcv_cache import CachePolicy, RCVCache
+from repro.graph.graph import VertexData
+
+
+def vd(vid, degree=2):
+    return VertexData(vid=vid, neighbors=tuple(range(1000, 1000 + degree)))
+
+
+SIZE = vd(0).estimate_size()
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        assert cache.insert(vd(1))
+        assert cache.lookup(1).vid == 1
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        assert cache.lookup(9) is None
+        assert cache.misses == 1
+        assert cache.hit_rate() == 0.0
+
+    def test_peek_does_not_count(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        cache.insert(vd(1))
+        cache.peek(1)
+        cache.peek(2)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_reinsert_adds_refs(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        cache.insert(vd(1), refs=1)
+        cache.insert(vd(1), refs=2)
+        assert cache.refs(1) == 3
+        assert len(cache) == 1
+
+    def test_memory_hooks(self):
+        allocs, frees = [], []
+        cache = RCVCache(
+            capacity_bytes=10 * SIZE,
+            on_alloc=allocs.append,
+            on_free=frees.append,
+        )
+        cache.insert(vd(1))
+        assert allocs == [SIZE]
+        cache.drop_all()
+        assert frees == [SIZE]
+
+
+class TestReferenceCounting:
+    def test_addref_release(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        cache.insert(vd(1), refs=1)
+        cache.addref(1)
+        assert cache.refs(1) == 2
+        cache.release(1)
+        cache.release(1)
+        assert cache.refs(1) == 0
+
+    def test_release_never_negative(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        cache.insert(vd(1), refs=0)
+        cache.release(1)
+        assert cache.refs(1) == 0
+
+    def test_addref_on_missing_raises(self):
+        cache = RCVCache(capacity_bytes=10 * SIZE)
+        with pytest.raises(KeyError):
+            cache.addref(5)
+
+    def test_release_on_missing_is_noop(self):
+        RCVCache(capacity_bytes=10 * SIZE).release(5)
+
+
+class TestRCVEviction:
+    def test_referenced_entries_never_evicted(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=1)
+        cache.insert(vd(2), refs=1)
+        # full of referenced entries: the new insert must be refused
+        assert not cache.insert(vd(3), refs=1)
+        assert cache.rejected_inserts == 1
+        assert 1 in cache and 2 in cache
+
+    def test_lazy_model_keeps_zero_ref_until_needed(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=0)
+        assert 1 in cache  # zero-ref is NOT deleted eagerly
+        cache.insert(vd(2), refs=1)
+        assert 1 in cache
+        cache.insert(vd(3), refs=1)  # now space is needed
+        assert 1 not in cache
+        assert cache.evictions == 1
+
+    def test_oldest_zero_ref_evicted_first(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=0)
+        cache.insert(vd(2), refs=0)
+        cache.insert(vd(3), refs=0)
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_release_then_evictable(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=1)
+        cache.insert(vd(2), refs=1)
+        assert not cache.insert(vd(3), refs=1)
+        cache.release(1)
+        assert cache.insert(vd(3), refs=1)
+        assert 1 not in cache
+
+    def test_oversized_item_rejected(self):
+        cache = RCVCache(capacity_bytes=SIZE // 2)
+        assert not cache.insert(vd(1))
+
+
+class TestAblationPolicies:
+    def test_lru_evicts_least_recent_even_if_referenced(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.LRU)
+        cache.insert(vd(1), refs=5)
+        cache.insert(vd(2), refs=0)
+        cache.lookup(1)  # touch 1 so 2 is least recent
+        cache.insert(vd(3), refs=0)
+        assert 2 not in cache
+        assert 1 in cache
+
+    def test_fifo_evicts_insertion_order(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.FIFO)
+        cache.insert(vd(1), refs=5)
+        cache.insert(vd(2), refs=0)
+        cache.lookup(1)  # FIFO ignores recency
+        cache.insert(vd(3), refs=0)
+        assert 1 not in cache  # first in, first out — despite its refs
+
+    def test_policy_string_roundtrip(self):
+        assert CachePolicy("rcv") is CachePolicy.RCV
+        assert CachePolicy("lru") is CachePolicy.LRU
+        assert CachePolicy("fifo") is CachePolicy.FIFO

@@ -1,0 +1,103 @@
+"""Unit tests for the task subgraph structure."""
+
+import pytest
+
+from repro.core.subgraph import Subgraph
+
+
+class TestMutation:
+    def test_add_nodes(self):
+        s = Subgraph()
+        s.add_node(3)
+        s.add_nodes([1, 2])
+        assert list(s.nodes()) == [1, 2, 3]
+        assert len(s) == 3
+
+    def test_add_edge_adds_endpoints(self):
+        s = Subgraph()
+        s.add_edge(5, 2)
+        assert s.has_node(5) and s.has_node(2)
+        assert s.has_edge(2, 5)
+        assert s.has_edge(5, 2)
+
+    def test_self_loop_rejected(self):
+        s = Subgraph()
+        with pytest.raises(ValueError):
+            s.add_edge(1, 1)
+
+    def test_remove_node_drops_incident_edges(self):
+        s = Subgraph()
+        s.add_edge(1, 2)
+        s.add_edge(2, 3)
+        s.remove_node(2)
+        assert not s.has_node(2)
+        assert s.num_edges == 0
+        assert s.has_node(1) and s.has_node(3)
+
+    def test_duplicate_edges_idempotent(self):
+        s = Subgraph()
+        s.add_edge(1, 2)
+        s.add_edge(2, 1)
+        assert s.num_edges == 1
+
+
+class TestSplit:
+    def test_split_components(self):
+        s = Subgraph()
+        s.add_edge(1, 2)
+        s.add_edge(3, 4)
+        s.add_node(9)
+        parts = s.split()
+        node_sets = sorted(tuple(p.nodes()) for p in parts)
+        assert node_sets == [(1, 2), (3, 4), (9,)]
+
+    def test_split_preserves_edges(self):
+        s = Subgraph()
+        s.add_edge(1, 2)
+        s.add_edge(2, 3)
+        parts = s.split()
+        assert len(parts) == 1
+        assert parts[0].num_edges == 2
+
+    def test_split_empty(self):
+        assert Subgraph().split() == []
+
+
+class TestAccessors:
+    def test_min_node(self):
+        s = Subgraph()
+        assert s.min_node() is None
+        s.add_nodes([5, 3, 9])
+        assert s.min_node() == 3
+
+    def test_contains(self):
+        s = Subgraph()
+        s.add_node(2)
+        assert 2 in s
+        assert 3 not in s
+
+    def test_copy_is_independent(self):
+        s = Subgraph()
+        s.add_edge(1, 2)
+        c = s.copy()
+        c.add_node(99)
+        assert not s.has_node(99)
+
+    def test_estimate_size_grows(self):
+        s = Subgraph()
+        base = s.estimate_size()
+        s.add_edge(1, 2)
+        assert s.estimate_size() > base
+
+    def test_edges_sorted(self):
+        s = Subgraph()
+        s.add_edge(5, 1)
+        s.add_edge(2, 3)
+        assert list(s.edges()) == [(1, 5), (2, 3)]
+
+    def test_node_set_is_copy(self):
+        s = Subgraph()
+        s.add_node(1)
+        ns = s.node_set()
+        ns.add(99)
+        assert not s.has_node(99)

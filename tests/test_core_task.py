@@ -1,0 +1,126 @@
+"""Unit tests for the task model (paper §4.2)."""
+
+import pytest
+
+from repro.core.task import Task, TaskEnv, TaskStatus
+from repro.graph.graph import VertexData
+
+
+class RecordingTask(Task):
+    """Pulls whatever the test tells it to; finishes on request."""
+
+    def __init__(self, seed, script):
+        super().__init__(seed)
+        self.script = list(script)
+        self.seen = []
+        first = self.script.pop(0)
+        if first is not None:
+            self.pull(first)
+
+    def update(self, cand_objs, env):
+        self.seen.append((dict(cand_objs), env.aggregated))
+        self.charge(5)
+        step = self.script.pop(0)
+        if step is None:
+            self.finish(result=len(self.seen))
+        else:
+            self.pull(step)
+
+
+def make_seed(vid=0, neighbors=(1, 2)):
+    return VertexData(vid=vid, neighbors=tuple(neighbors))
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        t = RecordingTask(make_seed(), [[1, 2], None])
+        assert t.status is TaskStatus.ACTIVE
+        assert t.round == 0
+        assert not t.finished
+        assert t.subgraph.has_node(0)
+        assert t.candidates == [1, 2]
+        assert t.to_pull == {1, 2}
+
+    def test_run_round_increments_and_charges(self):
+        t = RecordingTask(make_seed(), [[1], None])
+        env = TaskEnv(worker_id=0)
+        work = t.run_round({1: make_seed(1)}, env)
+        assert t.round == 1
+        assert work == 5
+        assert t.finished
+        assert t.result == 1
+
+    def test_pull_deduplicates_and_sorts(self):
+        t = RecordingTask(make_seed(), [[3, 1, 3, 2]])
+        assert t.candidates == [1, 2, 3]
+
+    def test_finish_clears_candidates(self):
+        t = RecordingTask(make_seed(), [[1], None])
+        t.run_round({}, TaskEnv(0))
+        assert t.candidates == []
+        assert t.to_pull == set()
+
+    def test_unique_task_ids(self):
+        a = RecordingTask(make_seed(), [[1]])
+        b = RecordingTask(make_seed(), [[1]])
+        assert a.task_id != b.task_id
+
+
+class TestEnv:
+    def test_aggregated_visible(self):
+        t = RecordingTask(make_seed(), [[1], None])
+        t.run_round({}, TaskEnv(0, aggregated=42))
+        assert t.seen[0][1] == 42
+
+    def test_push_to_aggregator(self):
+        pushed = []
+        env = TaskEnv(0, push=pushed.append)
+        env.push_to_aggregator(7)
+        assert pushed == [7]
+
+    def test_push_without_sink_is_noop(self):
+        TaskEnv(0).push_to_aggregator(7)  # must not raise
+
+
+class TestCostModel:
+    def test_migration_cost_eq2(self):
+        t = RecordingTask(make_seed(), [[1, 2, 3]])
+        t.subgraph.add_nodes([10, 11])
+        # c(t) = |subG| + |candVtxs| = 3 + 3
+        assert t.migration_cost() == 6
+
+    def test_local_rate_eq3(self):
+        t = RecordingTask(make_seed(), [[1, 2, 3, 4]])
+        assert t.local_rate(num_to_pull=1) == pytest.approx(0.75)
+        assert t.local_rate(num_to_pull=4) == 0.0
+
+    def test_local_rate_no_candidates(self):
+        t = RecordingTask(make_seed(), [[1], None])
+        t.run_round({}, TaskEnv(0))
+        assert t.local_rate(0) == 1.0
+
+    def test_estimate_size_includes_context(self):
+        class FatContext(RecordingTask):
+            def context_size(self):
+                return 10_000
+
+        lean = RecordingTask(make_seed(), [[1]])
+        fat = FatContext(make_seed(), [[1]])
+        assert fat.estimate_size() > lean.estimate_size() + 9_000
+
+
+class TestDefaults:
+    def test_base_update_abstract(self):
+        t = Task(make_seed())
+        with pytest.raises(NotImplementedError):
+            t.update({}, TaskEnv(0))
+
+    def test_spawn_default_empty(self):
+        assert Task(make_seed()).spawn() == []
+
+    def test_split_default_none(self):
+        assert Task(make_seed()).split() is None
+
+    def test_repr_mentions_seed_and_round(self):
+        t = RecordingTask(make_seed(vid=9), [[1]])
+        assert "seed=9" in repr(t)

@@ -1,0 +1,99 @@
+"""Tests for task-lifecycle tracing."""
+
+import pytest
+
+from repro.apps import TriangleCountingApp
+from repro.core import GMinerConfig, GMinerJob
+from repro.core.tracing import NullTraceLog, TaskEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_emit_and_query(self):
+        log = TraceLog()
+        log.emit(0.0, 0, 7, TaskEvent.SEEDED)
+        log.emit(1.0, 0, 7, TaskEvent.EXECUTED, detail=1)
+        log.emit(2.0, 0, 7, TaskEvent.FINISHED)
+        assert len(log) == 3
+        assert [r.event for r in log.for_task(7)] == [
+            TaskEvent.SEEDED, TaskEvent.EXECUTED, TaskEvent.FINISHED,
+        ]
+        assert log.lifetime(7) == pytest.approx(2.0)
+        assert log.rounds_of(7) == 1
+
+    def test_capacity_drops_excess(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.emit(float(i), 0, i, TaskEvent.SEEDED)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_pull_latency(self):
+        log = TraceLog()
+        log.emit(1.0, 0, 1, TaskEvent.PULL_ISSUED)
+        log.emit(1.5, 0, 1, TaskEvent.READY)
+        log.emit(2.0, 0, 2, TaskEvent.PULL_ISSUED)
+        log.emit(3.0, 0, 2, TaskEvent.READY)
+        assert log.pull_latencies() == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_lifetime_needs_both_ends(self):
+        log = TraceLog()
+        log.emit(0.0, 0, 1, TaskEvent.SEEDED)
+        assert log.lifetime(1) is None
+        assert log.lifetime(99) is None
+
+    def test_migrated_task_lifetime_uses_arrival(self):
+        log = TraceLog()
+        log.emit(5.0, 1, 3, TaskEvent.MIGRATED_IN)
+        log.emit(7.0, 1, 3, TaskEvent.FINISHED)
+        assert log.lifetime(3) == pytest.approx(2.0)
+
+    def test_null_log_ignores_everything(self):
+        log = NullTraceLog()
+        log.emit(0.0, 0, 1, TaskEvent.SEEDED)
+        assert len(log) == 0
+
+    def test_summary_fields(self):
+        log = TraceLog()
+        log.emit(0.0, 0, 1, TaskEvent.SEEDED)
+        log.emit(1.0, 0, 1, TaskEvent.FINISHED)
+        summary = log.summary()
+        assert summary["tasks_finished"] == 1
+        assert summary["events"] == 2
+
+
+class TestTracedJob:
+    def test_job_trace_covers_every_task(self, small_social_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec, enable_tracing=True)
+        job = GMinerJob(TriangleCountingApp(), small_social_graph, config)
+        result = job.run()
+        trace = result.trace
+        assert trace is not None and len(trace) > 0
+        # every created task was seeded and finished exactly once
+        assert trace.count(TaskEvent.SEEDED) == result.stats["tasks_created"]
+        assert trace.count(TaskEvent.FINISHED) == result.stats["tasks_created"]
+        # rounds in the trace agree with the runtime counters
+        assert trace.count(TaskEvent.EXECUTED) == result.stats["rounds_executed"]
+
+    def test_task_timelines_are_causally_ordered(self, small_social_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec, enable_tracing=True)
+        result = GMinerJob(TriangleCountingApp(), small_social_graph, config).run()
+        trace = result.trace
+        finished = [r.task_id for r in trace if r.event is TaskEvent.FINISHED]
+        for task_id in finished[:20]:
+            times = [r.time for r in trace.for_task(task_id)]
+            assert times == sorted(times)
+            events = [r.event for r in trace.for_task(task_id)]
+            assert events[0] in (TaskEvent.SEEDED, TaskEvent.MIGRATED_IN)
+            assert events[-1] is TaskEvent.FINISHED
+
+    def test_tracing_off_by_default(self, small_social_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec)
+        result = GMinerJob(TriangleCountingApp(), small_social_graph, config).run()
+        assert result.trace is None
+
+    def test_pull_latencies_recorded(self, small_social_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec, enable_tracing=True)
+        result = GMinerJob(TriangleCountingApp(), small_social_graph, config).run()
+        latencies = result.trace.pull_latencies()
+        assert latencies
+        assert all(l >= 0 for l in latencies)

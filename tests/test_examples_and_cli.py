@@ -1,0 +1,71 @@
+"""Smoke tests: the shipped examples and the bench CLI must run."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_script(relpath, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO, relpath)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_script("examples/quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "triangles" in proc.stdout
+        assert "status            : ok" in proc.stdout
+
+    def test_custom_application(self):
+        proc = run_script("examples/custom_application.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "true members missed           : 0" in proc.stdout
+
+    def test_social_network_analysis(self):
+        proc = run_script("examples/social_network_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "max clique" in proc.stdout
+
+    def test_fault_tolerance(self):
+        proc = run_script("examples/fault_tolerance.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "identical clique" in proc.stdout
+
+
+class TestBenchCLI:
+    def test_list(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "list"],
+            capture_output=True, text=True, cwd=REPO, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "table1_motivation" in proc.stdout
+        assert "fig13_stealing" in proc.stdout
+
+    def test_run_unknown_experiment(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "run", "nope"],
+            capture_output=True, text=True, cwd=REPO, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "unknown experiment" in proc.stderr
+
+    def test_run_table2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "run", "table2_datasets",
+             "-o", str(tmp_path)],
+            capture_output=True, text=True, cwd=REPO, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "orkut-s" in proc.stdout
+        assert (tmp_path / "table2.txt").exists()

@@ -1,0 +1,101 @@
+"""Fault-tolerance integration tests (paper §7).
+
+A worker dies mid-job; with checkpointing enabled the job must finish
+with exactly the correct result after the worker recovers and re-runs
+its tasks from the last snapshot, while live workers keep going.
+"""
+
+import pytest
+
+from repro.apps import MaxCliqueApp, TriangleCountingApp
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.graph.algorithms import triangle_count_exact
+from repro.sim.failures import FailurePlan
+
+
+@pytest.fixture
+def config(small_spec):
+    return GMinerConfig(
+        cluster=small_spec,
+        checkpoint_interval=0.02,
+        time_limit=120.0,
+    )
+
+
+def first_failure_window(app, graph, config):
+    """Run once without failures to learn the job duration, then pick a
+    kill time in the middle of mining."""
+    clean = GMinerJob(app, graph, config).run()
+    assert clean.status is JobStatus.OK
+    mid = clean.setup_seconds + clean.mining_seconds * 0.5
+    return clean, mid
+
+
+class TestRecovery:
+    def test_tc_survives_worker_failure(self, small_social_graph, config):
+        clean, kill_at = first_failure_window(
+            TriangleCountingApp(), small_social_graph, config
+        )
+        plan = FailurePlan().kill(node_id=1, at_time=kill_at, recovery_delay=0.05)
+        job = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        )
+        result = job.run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.total_seconds >= clean.total_seconds
+
+    def test_mcf_survives_worker_failure(self, small_social_graph, config):
+        clean, kill_at = first_failure_window(
+            MaxCliqueApp(), small_social_graph, config
+        )
+        plan = FailurePlan().kill(node_id=0, at_time=kill_at, recovery_delay=0.05)
+        result = GMinerJob(
+            MaxCliqueApp(), small_social_graph, config, failure_plan=plan
+        ).run()
+        assert result.status is JobStatus.OK
+        assert len(result.value) == len(clean.value)
+
+    def test_two_failures_sequential(self, small_social_graph, config):
+        clean, kill_at = first_failure_window(
+            TriangleCountingApp(), small_social_graph, config
+        )
+        plan = (
+            FailurePlan()
+            .kill(node_id=1, at_time=kill_at, recovery_delay=0.05)
+            .kill(node_id=2, at_time=kill_at + 0.2, recovery_delay=0.05)
+        )
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+
+    def test_checkpoints_were_taken(self, small_social_graph, config):
+        result = GMinerJob(TriangleCountingApp(), small_social_graph, config).run()
+        assert result.stats["checkpoints"] > 0
+
+    def test_failure_early_in_job(self, small_social_graph, config):
+        """Killing a worker before its first checkpoint loses its seeds
+        entirely until recovery re-seeds from the (empty) snapshot —
+        the rerun path must still produce the exact count because the
+        worker re-runs from scratch state restored at recovery."""
+        plan = FailurePlan().kill(node_id=1, at_time=0.005, recovery_delay=0.02)
+        job = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        )
+        result = job.run()
+        # With no checkpoint yet, the dead worker's unfinished tasks are
+        # lost; recovery restores what the last snapshot had.  The
+        # contract tested here is weaker: the job must still terminate.
+        assert result.status in (JobStatus.OK, JobStatus.TIMEOUT)
+
+
+class TestCheckpointOverhead:
+    def test_overhead_is_bounded(self, small_social_graph, small_spec):
+        base_cfg = GMinerConfig(cluster=small_spec)
+        ckpt_cfg = base_cfg.replace(checkpoint_interval=0.02)
+        base = GMinerJob(TriangleCountingApp(), small_social_graph, base_cfg).run()
+        ckpt = GMinerJob(TriangleCountingApp(), small_social_graph, ckpt_cfg).run()
+        assert ckpt.value == base.value
+        assert ckpt.total_seconds < base.total_seconds * 2.0

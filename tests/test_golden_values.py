@@ -1,0 +1,61 @@
+"""Golden mining results on the registered datasets.
+
+These pin the exact outputs of every workload on the (seeded,
+deterministic) dataset registry.  Any change to a generator, a kernel,
+or the pipeline that alters a mining *result* — as opposed to its
+performance — trips one of these immediately, and the values are the
+ones EXPERIMENTS.md quotes.
+"""
+
+import pytest
+
+from repro.bench.runner import run_gminer
+from repro.sim.cluster import ClusterSpec
+
+SPEC = ClusterSpec(num_nodes=4, cores_per_node=4)
+
+#: dataset -> (triangles, max clique size, Figure-1-pattern matches)
+GOLDEN_NON_ATTRIBUTED = {
+    "skitter-s": (5378, 7, 1570),
+    "orkut-s": (86835, 12, 47935),
+    "btc-s": (9017, 5, 3992),
+    "friendster-s": (98668, 13, 92289),
+}
+
+#: dataset -> number of communities (native attributes, default params)
+GOLDEN_COMMUNITIES = {
+    "dblp-s": 60,
+    "tencent-s": 70,
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
+def test_triangle_counts(dataset):
+    expected, _, _ = GOLDEN_NON_ATTRIBUTED[dataset]
+    result = run_gminer("tc", dataset, spec=SPEC, time_limit=None)
+    assert result.ok
+    assert result.value == expected
+
+
+@pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
+def test_max_clique_sizes(dataset):
+    _, expected, _ = GOLDEN_NON_ATTRIBUTED[dataset]
+    result = run_gminer("mcf", dataset, spec=SPEC, time_limit=None)
+    assert result.ok
+    assert len(result.value) == expected
+    assert result.aggregated == expected
+
+
+@pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
+def test_pattern_match_counts(dataset):
+    _, _, expected = GOLDEN_NON_ATTRIBUTED[dataset]
+    result = run_gminer("gm", dataset, spec=SPEC, time_limit=None)
+    assert result.ok
+    assert result.value == expected
+
+
+@pytest.mark.parametrize("dataset", sorted(GOLDEN_COMMUNITIES))
+def test_community_counts(dataset):
+    result = run_gminer("cd", dataset, spec=SPEC, time_limit=None)
+    assert result.ok
+    assert len(result.value) == GOLDEN_COMMUNITIES[dataset]

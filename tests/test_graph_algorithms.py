@@ -1,0 +1,97 @@
+"""Unit tests for stand-alone graph utilities."""
+
+import pytest
+
+from repro.graph.algorithms import (
+    bfs_levels,
+    connected_components_hashmin,
+    degree_histogram,
+    graph_density,
+    is_clique,
+    k_hop_neighborhood,
+    triangle_count_exact,
+)
+from repro.graph.graph import Graph
+
+
+class TestBFS:
+    def test_levels(self, tiny_graph):
+        levels = bfs_levels(tiny_graph, 0)
+        assert levels[0] == 0
+        assert levels[1] == 1
+        assert levels[3] == 2
+        assert levels[5] == 4
+
+    def test_depth_bound(self, tiny_graph):
+        levels = bfs_levels(tiny_graph, 0, max_depth=1)
+        assert set(levels) == {0, 1, 2}
+
+    def test_disconnected_unreached(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        assert 2 not in bfs_levels(g, 0)
+
+
+class TestHashMin:
+    def test_single_component(self, tiny_graph):
+        cc = connected_components_hashmin(tiny_graph)
+        assert set(cc.values()) == {0}
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (5, 6)])
+        cc = connected_components_hashmin(g)
+        assert cc[0] == cc[1] == 0
+        assert cc[5] == cc[6] == 5
+
+    def test_restricted_universe(self, tiny_graph):
+        # restricting to {4, 5} disconnects them from the triangles
+        cc = connected_components_hashmin(tiny_graph, vertices=[4, 5])
+        assert cc[4] == cc[5] == 4
+
+    def test_labels_are_component_minimum(self):
+        g = Graph.from_edges([(9, 3), (3, 7), (2, 8)])
+        cc = connected_components_hashmin(g)
+        assert cc[9] == 3 and cc[7] == 3
+        assert cc[8] == 2
+
+
+class TestTriangles:
+    def test_tiny_graph_count(self, tiny_graph):
+        assert triangle_count_exact(tiny_graph) == 2
+
+    def test_complete_graph(self):
+        k5 = Graph.from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert triangle_count_exact(k5) == 10
+
+    def test_triangle_free(self):
+        path = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert triangle_count_exact(path) == 0
+
+
+class TestCliqueAndDensity:
+    def test_is_clique(self, tiny_graph):
+        assert is_clique(tiny_graph, [0, 1, 2])
+        assert is_clique(tiny_graph, [1, 2, 3])
+        assert not is_clique(tiny_graph, [0, 1, 3])
+        assert is_clique(tiny_graph, [4])
+
+    def test_density_whole_graph(self):
+        k4 = Graph.from_edges([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert graph_density(k4) == pytest.approx(1.0)
+
+    def test_density_induced(self, tiny_graph):
+        assert graph_density(tiny_graph, [0, 1, 2]) == pytest.approx(1.0)
+        assert graph_density(tiny_graph, [0, 4, 5]) == pytest.approx(1 / 3)
+
+    def test_density_trivial(self, tiny_graph):
+        assert graph_density(tiny_graph, [0]) == 0.0
+
+
+class TestMisc:
+    def test_degree_histogram(self, tiny_graph):
+        hist = degree_histogram(tiny_graph)
+        assert sum(hist.values()) == tiny_graph.num_vertices
+        assert hist[1] == 1  # vertex 5
+
+    def test_k_hop_neighborhood(self, tiny_graph):
+        assert k_hop_neighborhood(tiny_graph, 0, 1) == {0, 1, 2}
+        assert k_hop_neighborhood(tiny_graph, 0, 3) == {0, 1, 2, 3, 4}

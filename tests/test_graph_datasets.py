@@ -1,0 +1,90 @@
+"""Unit tests for the dataset registry (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_table,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_registered(self):
+        assert set(DATASETS) == {
+            "skitter-s", "orkut-s", "btc-s", "friendster-s", "tencent-s", "dblp-s",
+        }
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_caching_returns_same_object(self):
+        a = load_dataset("skitter-s")
+        b = load_dataset("skitter-s")
+        assert a.graph is b.graph
+
+    def test_relative_size_ordering_preserved(self):
+        """The paper's ordering: skitter < orkut < friendster by |E|;
+        btc has the most vertices of the non-attributed graphs."""
+        sizes = {name: load_dataset(name).graph for name in DATASETS}
+        assert sizes["skitter-s"].num_edges < sizes["orkut-s"].num_edges
+        assert sizes["orkut-s"].num_edges < sizes["friendster-s"].num_edges
+        assert sizes["btc-s"].num_vertices == max(
+            sizes[n].num_vertices
+            for n in ("skitter-s", "orkut-s", "btc-s", "friendster-s")
+        )
+
+    def test_density_shape(self):
+        """Social graphs dense, web graphs sparse (paper Table 2)."""
+        orkut = load_dataset("orkut-s").graph
+        btc = load_dataset("btc-s").graph
+        assert orkut.avg_degree() > 4 * btc.avg_degree()
+
+
+class TestAttributedDatasets:
+    def test_tencent_is_attributed_with_communities(self):
+        built = load_dataset("tencent-s")
+        assert built.graph.is_attributed
+        assert built.community_map is not None
+        assert built.attribute_space is not None
+
+    def test_dblp_attribute_space_smaller_than_tencent(self):
+        dblp = load_dataset("dblp-s").graph
+        tencent = load_dataset("tencent-s").graph
+        assert dblp.attribute_dimensions() < tencent.attribute_dimensions()
+
+
+class TestDecoration:
+    def test_labeled_copy_does_not_mutate_cache(self):
+        labeled = load_dataset("skitter-s", labeled=True)
+        base = load_dataset("skitter-s")
+        assert labeled.graph.is_labeled
+        assert not base.graph.is_labeled
+
+    def test_labeled_deterministic(self):
+        a = load_dataset("skitter-s", labeled=True)
+        b = load_dataset("skitter-s", labeled=True)
+        assert all(
+            a.graph.label(v) == b.graph.label(v) for v in a.graph.vertices()
+        )
+
+    def test_attributed_decoration(self):
+        built = load_dataset("orkut-s", attributed=True)
+        assert built.graph.is_attributed
+        # 5-dimension synthetic attributes (paper footnote 7)
+        any_vertex = next(iter(built.graph.vertices()))
+        assert len(built.graph.attributes(any_vertex)) == 5
+
+    def test_natively_attributed_not_overwritten(self):
+        built = load_dataset("tencent-s", attributed=True)
+        base = load_dataset("tencent-s")
+        v = next(iter(base.graph.vertices()))
+        assert built.graph.attributes(v) == base.graph.attributes(v)
+
+
+def test_dataset_table_renders_all():
+    table = dataset_table()
+    for name in DATASETS:
+        assert name in table
+    assert "Max.Deg" in table

@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.attributes import AttributeSpace
+from repro.graph.generators import (
+    planted_partition_graph,
+    preferential_attachment_graph,
+    random_attributes,
+    random_labels,
+    rmat_graph,
+)
+from repro.graph.algorithms import triangle_count_exact
+
+
+class TestPreferentialAttachment:
+    def test_deterministic(self):
+        a = preferential_attachment_graph(50, 3, seed=1)
+        b = preferential_attachment_graph(50, 3, seed=1)
+        assert {v: a.neighbors(v) for v in a.vertices()} == {
+            v: b.neighbors(v) for v in b.vertices()
+        }
+
+    def test_seed_changes_graph(self):
+        a = preferential_attachment_graph(50, 3, seed=1)
+        b = preferential_attachment_graph(50, 3, seed=2)
+        assert {v: a.neighbors(v) for v in a.vertices()} != {
+            v: b.neighbors(v) for v in b.vertices()
+        }
+
+    def test_vertex_count(self):
+        g = preferential_attachment_graph(100, 4, seed=0)
+        assert g.num_vertices == 100
+
+    def test_average_degree_near_2m(self):
+        g = preferential_attachment_graph(300, 5, seed=0)
+        assert g.avg_degree() == pytest.approx(10, rel=0.25)
+
+    def test_triangle_closure_increases_clustering(self):
+        lo = preferential_attachment_graph(300, 5, triangle_prob=0.0, seed=7)
+        hi = preferential_attachment_graph(300, 5, triangle_prob=0.9, seed=7)
+        assert triangle_count_exact(hi) > triangle_count_exact(lo)
+
+    def test_max_degree_cap_respected(self):
+        g = preferential_attachment_graph(400, 6, seed=3, max_degree=25)
+        assert g.max_degree() <= 25
+
+    def test_degree_skew_exists(self):
+        g = preferential_attachment_graph(500, 4, seed=0)
+        assert g.max_degree() > 3 * g.avg_degree()
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(0, 1)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0)
+
+
+class TestRMAT:
+    def test_deterministic(self):
+        a = rmat_graph(scale=8, edge_factor=4, seed=5)
+        b = rmat_graph(scale=8, edge_factor=4, seed=5)
+        assert a.num_edges == b.num_edges
+
+    def test_hub_skew(self):
+        g = rmat_graph(scale=9, edge_factor=8, seed=1)
+        assert g.max_degree() > 5 * g.avg_degree()
+
+    def test_degree_cap(self):
+        g = rmat_graph(scale=9, edge_factor=8, seed=1, max_degree=20)
+        assert g.max_degree() <= 20
+
+    def test_no_self_loops(self):
+        g = rmat_graph(scale=6, edge_factor=4, seed=2)
+        for v in g.vertices():
+            assert v not in g.neighbors(v)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            rmat_graph(scale=0)
+        with pytest.raises(ValueError):
+            rmat_graph(scale=4, a=0.5, b=0.4, c=0.3)
+
+
+class TestPlantedPartition:
+    def test_membership_map_complete(self):
+        g, members = planted_partition_graph(4, 10, seed=0)
+        assert g.num_vertices == 40
+        assert set(members) == set(range(40))
+        assert set(members.values()) == {0, 1, 2, 3}
+
+    def test_communities_denser_inside(self):
+        g, members = planted_partition_graph(4, 20, p_in=0.5, p_out=0.01, seed=1)
+        inside = outside = 0
+        for v in g.vertices():
+            for u in g.neighbors(v):
+                if u > v:
+                    if members[u] == members[v]:
+                        inside += 1
+                    else:
+                        outside += 1
+        assert inside > outside
+
+    def test_deterministic(self):
+        g1, _ = planted_partition_graph(3, 10, seed=9)
+        g2, _ = planted_partition_graph(3, 10, seed=9)
+        assert g1.num_edges == g2.num_edges
+
+
+class TestDecorators:
+    def test_random_labels_cover_alphabet(self, small_social_graph):
+        random_labels(small_social_graph, alphabet=("a", "b"), seed=0)
+        seen = {small_social_graph.label(v) for v in small_social_graph.vertices()}
+        assert seen == {"a", "b"}
+
+    def test_random_labels_deterministic(self, small_social_graph):
+        random_labels(small_social_graph, seed=4)
+        first = {v: small_social_graph.label(v) for v in small_social_graph.vertices()}
+        random_labels(small_social_graph, seed=4)
+        second = {v: small_social_graph.label(v) for v in small_social_graph.vertices()}
+        assert first == second
+
+    def test_random_attributes_one_per_dimension(self, small_social_graph):
+        space = AttributeSpace(dimensions=3, values_per_dimension=5)
+        random_attributes(small_social_graph, space=space, seed=0)
+        for v in small_social_graph.vertices():
+            attrs = small_social_graph.attributes(v)
+            assert len(attrs) == 3
+            dims = sorted(space.decode(a)[0] for a in attrs)
+            assert dims == [0, 1, 2]
+
+    def test_community_coherent_attributes(self):
+        g, members = planted_partition_graph(2, 20, seed=3)
+        space = AttributeSpace()
+        random_attributes(g, space=space, seed=3, community_map=members, coherence=1.0)
+        # full coherence: every member of a community has identical attrs
+        by_comm = {}
+        for v in g.vertices():
+            by_comm.setdefault(members[v], set()).add(g.attributes(v))
+        for attr_sets in by_comm.values():
+            assert len(attr_sets) == 1

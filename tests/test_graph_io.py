@@ -1,0 +1,94 @@
+"""Unit tests for graph text I/O (the HDFS line format)."""
+
+import io
+
+import pytest
+
+from repro.graph.graph import Graph, VertexData
+from repro.graph.io import (
+    dump_adjacency_text,
+    format_vertex_line,
+    graph_to_lines,
+    load_adjacency_text,
+    parse_vertex_line,
+)
+
+
+class TestParse:
+    def test_plain_vertex(self):
+        data = parse_vertex_line("3\t1 2 5")
+        assert data.vid == 3
+        assert data.neighbors == (1, 2, 5)
+        assert data.label is None
+        assert data.attributes == ()
+
+    def test_neighbors_sorted_on_parse(self):
+        assert parse_vertex_line("0\t5 2 9").neighbors == (2, 5, 9)
+
+    def test_label_field(self):
+        assert parse_vertex_line("1\t2\tL=a").label == "a"
+
+    def test_attribute_field(self):
+        assert parse_vertex_line("1\t2\tA=10,20,30").attributes == (10, 20, 30)
+
+    def test_all_fields(self):
+        data = parse_vertex_line("7\t1 3\tL=x\tA=5")
+        assert (data.vid, data.neighbors, data.label, data.attributes) == (
+            7, (1, 3), "x", (5,),
+        )
+
+    def test_isolated_vertex(self):
+        assert parse_vertex_line("9\t").neighbors == ()
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_vertex_line("   ")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            parse_vertex_line("1\t2\tZ=9")
+
+    def test_bare_id_is_isolated_vertex(self):
+        assert parse_vertex_line("1").neighbors == ()
+
+    def test_non_integer_id_rejected(self):
+        with pytest.raises(ValueError):
+            parse_vertex_line("abc\t1 2")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        original = VertexData(vid=4, neighbors=(1, 2), label="q", attributes=(8, 9))
+        assert parse_vertex_line(format_vertex_line(original)) == original
+
+    def test_graph_round_trip(self, tiny_graph):
+        tiny_graph.set_label(0, "a")
+        tiny_graph.set_attributes(1, [100, 200])
+        buffer = io.StringIO()
+        dump_adjacency_text(tiny_graph, buffer)
+        loaded = load_adjacency_text(io.StringIO(buffer.getvalue()))
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert loaded.label(0) == "a"
+        assert loaded.attributes(1) == (100, 200)
+
+    def test_file_round_trip(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        dump_adjacency_text(tiny_graph, path)
+        loaded = load_adjacency_text(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+
+    def test_load_symmetrises_partial_lists(self):
+        # u lists v but v omits u: the edge must still exist
+        loaded = load_adjacency_text(["0\t1", "1\t"])
+        assert loaded.has_edge(0, 1)
+
+    def test_graph_to_lines(self, tiny_graph):
+        lines = graph_to_lines(tiny_graph)
+        assert len(lines) == tiny_graph.num_vertices
+        reloaded = load_adjacency_text(lines)
+        assert reloaded.num_edges == tiny_graph.num_edges
+
+    def test_blank_lines_skipped(self):
+        loaded = load_adjacency_text(["0\t1", "", "1\t0", "   "])
+        assert loaded.num_vertices == 2

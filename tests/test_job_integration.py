@@ -1,0 +1,201 @@
+"""End-to-end job tests: the distributed pipeline must compute exactly
+what the sequential kernels compute, for every application."""
+
+import pytest
+
+from repro.apps import (
+    CommunityDetectionApp,
+    GraphClusteringApp,
+    GraphMatchingApp,
+    MaxCliqueApp,
+    TriangleCountingApp,
+)
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.graph.algorithms import is_clique, triangle_count_exact
+from repro.graph.datasets import load_dataset
+from repro.mining.clustering import FocusParams, focused_clustering_sequential
+from repro.mining.community import CommunityParams, community_detection_sequential
+from repro.mining.cost import WorkMeter
+from repro.mining.matching import graph_matching_sequential
+from repro.mining.patterns import PAPER_PATTERN
+from tests.conftest import adjacency_of, attributes_of, labels_of
+
+
+def run_job(app, graph, spec, **overrides):
+    config = GMinerConfig(cluster=spec).replace(**overrides)
+    job = GMinerJob(app, graph, config)
+    result = job.run()
+    assert result.status is JobStatus.OK
+    return job, result
+
+
+class TestTriangleCounting:
+    def test_exact_count(self, small_social_graph, small_spec):
+        _, result = run_job(TriangleCountingApp(), small_social_graph, small_spec)
+        assert result.value == triangle_count_exact(small_social_graph)
+
+    def test_dataset_scale(self, small_spec):
+        g = load_dataset("skitter-s").graph
+        _, result = run_job(TriangleCountingApp(), g, small_spec)
+        assert result.value == triangle_count_exact(g)
+
+    def test_every_partitioner(self, small_social_graph, small_spec):
+        expected = triangle_count_exact(small_social_graph)
+        for partitioner in ("bdg", "hash"):
+            _, result = run_job(
+                TriangleCountingApp(), small_social_graph, small_spec,
+                partitioner=partitioner,
+            )
+            assert result.value == expected
+
+
+class TestMaxClique:
+    def test_finds_maximum_clique(self, small_social_graph, small_spec):
+        from repro.mining.cliques import max_clique_sequential
+
+        expected = max_clique_sequential(
+            adjacency_of(small_social_graph), WorkMeter()
+        )
+        _, result = run_job(MaxCliqueApp(), small_social_graph, small_spec)
+        assert len(result.value) == len(expected)
+        assert is_clique(small_social_graph, result.value)
+        assert result.aggregated == len(expected)
+
+    def test_aggregator_bound_propagates(self, small_social_graph, small_spec):
+        job, result = run_job(MaxCliqueApp(), small_social_graph, small_spec)
+        # every worker's view of the bound converged to the true value
+        for worker in job.workers:
+            assert worker.agg.best_known <= len(result.value)
+
+
+class TestGraphMatching:
+    def test_count_matches_sequential(self, small_labeled_graph, small_spec):
+        expected = graph_matching_sequential(
+            PAPER_PATTERN,
+            labels_of(small_labeled_graph),
+            adjacency_of(small_labeled_graph),
+            WorkMeter(),
+        )
+        _, result = run_job(GraphMatchingApp(), small_labeled_graph, small_spec)
+        assert result.value == expected
+
+    def test_with_splitting_enabled(self, small_labeled_graph, small_spec):
+        expected = graph_matching_sequential(
+            PAPER_PATTERN,
+            labels_of(small_labeled_graph),
+            adjacency_of(small_labeled_graph),
+            WorkMeter(),
+        )
+        _, result = run_job(
+            GraphMatchingApp(), small_labeled_graph, small_spec,
+            enable_splitting=True, split_candidate_threshold=8,
+        )
+        assert result.value == expected
+
+
+class TestCommunityDetection:
+    def test_matches_sequential(self, small_spec):
+        g = load_dataset("dblp-s").graph
+        expected = community_detection_sequential(
+            CommunityParams(), attributes_of(g), adjacency_of(g), WorkMeter()
+        )
+        _, result = run_job(CommunityDetectionApp(), g, small_spec)
+        assert result.value == expected
+
+
+class TestGraphClustering:
+    def test_matches_sequential(self, small_spec):
+        built = load_dataset("dblp-s")
+        g = built.graph
+        exemplars = sorted(g.vertices())[:5]
+        attrs = attributes_of(g)
+        expected = focused_clustering_sequential(
+            exemplars, FocusParams(), attrs, adjacency_of(g), WorkMeter()
+        )
+        app = GraphClusteringApp([attrs[e] for e in exemplars])
+        _, result = run_job(app, g, small_spec)
+        assert result.value == expected
+
+
+class TestJobAccounting:
+    def test_result_metrics_populated(self, small_social_graph, small_spec):
+        job, result = run_job(TriangleCountingApp(), small_social_graph, small_spec)
+        assert result.total_seconds > 0
+        assert result.mining_seconds > 0
+        assert result.setup_seconds > 0
+        assert 0 < result.cpu_utilization <= 1
+        assert result.peak_memory_bytes > small_social_graph.estimate_size() // 2
+        assert result.network_bytes > 0
+        assert result.stats["tasks_created"] > 0
+        assert result.stats["rounds_executed"] >= result.stats["tasks_created"]
+
+    def test_memory_freed_at_end(self, small_social_graph, small_spec):
+        job, _ = run_job(TriangleCountingApp(), small_social_graph, small_spec)
+        for worker in job.workers:
+            # tasks and overflow slots are gone; what remains is the
+            # vertex table plus cached vertices
+            assert not worker.live_tasks
+            assert not worker.overflow
+            table = sum(v.estimate_size() for v in worker.vertex_table.values())
+            assert worker.node.memory.current <= table + worker.cache.used_bytes + 1
+
+    def test_utilization_timeline_available(self, small_social_graph, small_spec):
+        _, result = run_job(TriangleCountingApp(), small_social_graph, small_spec)
+        times, series = result.utilization_series(bins=10)
+        assert len(times) == 10
+        assert set(series) == {"cpu", "network", "disk"}
+        assert max(series["cpu"]) > 0
+
+    def test_single_node_cluster_works(self, small_social_graph, small_spec):
+        spec = small_spec.with_nodes(1)
+        _, result = run_job(TriangleCountingApp(), small_social_graph, spec)
+        assert result.value == triangle_count_exact(small_social_graph)
+        # nothing is remote: no vertex ever pulled; only worker->master
+        # control traffic crosses the (loopback) network
+        assert result.stats["vertices_pulled"] == 0
+        assert result.network_bytes < 10_000
+
+
+class TestFeatureToggles:
+    @pytest.mark.parametrize("enable_lsh", [True, False])
+    @pytest.mark.parametrize("enable_stealing", [True, False])
+    def test_correctness_independent_of_features(
+        self, small_social_graph, small_spec, enable_lsh, enable_stealing
+    ):
+        expected = triangle_count_exact(small_social_graph)
+        _, result = run_job(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            enable_lsh=enable_lsh, enable_stealing=enable_stealing,
+        )
+        assert result.value == expected
+
+    @pytest.mark.parametrize("policy", ["rcv", "lru", "fifo"])
+    def test_correctness_under_cache_policies(
+        self, small_social_graph, small_spec, policy
+    ):
+        expected = triangle_count_exact(small_social_graph)
+        _, result = run_job(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            cache_policy=policy,
+        )
+        assert result.value == expected
+
+    def test_tiny_cache_still_correct(self, small_social_graph, small_spec):
+        """A cache big enough for only a couple of vertices forces the
+        overflow path; results must not change."""
+        expected = triangle_count_exact(small_social_graph)
+        _, result = run_job(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            cache_capacity_bytes=1024,
+        )
+        assert result.value == expected
+
+    def test_tiny_store_blocks_still_correct(self, small_social_graph, small_spec):
+        expected = triangle_count_exact(small_social_graph)
+        _, result = run_job(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            store_block_tasks=2, task_buffer_batch=2,
+        )
+        assert result.value == expected
+        # forcing tiny blocks must actually exercise the disk path
+        assert result.stats["disk_loads"] > 0

@@ -1,0 +1,116 @@
+"""Unit tests for the maximum-clique kernels."""
+
+import pytest
+
+from repro.graph.algorithms import is_clique
+from repro.graph.generators import preferential_attachment_graph
+from repro.graph.graph import Graph
+from repro.mining.cliques import (
+    SharedBound,
+    max_clique_in_candidates,
+    max_clique_sequential,
+    maximal_cliques,
+)
+from repro.mining.cost import WorkMeter
+from tests.conftest import adjacency_of
+
+
+class TestSharedBound:
+    def test_record_improves(self):
+        b = SharedBound()
+        assert b.record([1, 2, 3])
+        assert b.value == 3
+        assert b.best_clique == (1, 2, 3)
+
+    def test_record_rejects_smaller(self):
+        b = SharedBound(initial=3)
+        assert not b.record([1, 2])
+        assert b.value == 3
+
+    def test_merge(self):
+        a, b = SharedBound(), SharedBound()
+        a.record([1, 2])
+        b.record([3, 4, 5])
+        a.merge(b)
+        assert a.value == 3
+        assert a.best_clique == (3, 4, 5)
+
+
+class TestSequential:
+    def test_k4_plus_tail(self):
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]
+        )
+        clique = max_clique_sequential(adjacency_of(g), WorkMeter())
+        assert clique == (0, 1, 2, 3)
+
+    def test_triangle_graph(self, tiny_graph):
+        clique = max_clique_sequential(adjacency_of(tiny_graph), WorkMeter())
+        assert len(clique) == 3
+        assert is_clique(tiny_graph, clique)
+
+    def test_matches_bron_kerbosch_oracle(self, small_social_graph):
+        adj = adjacency_of(small_social_graph)
+        best = max_clique_sequential(adj, WorkMeter())
+        oracle = max(maximal_cliques(adj, WorkMeter()), key=len)
+        assert len(best) == len(oracle)
+        assert is_clique(small_social_graph, best)
+
+    def test_path_graph_max_clique_is_edge(self):
+        adj = {0: (1,), 1: (0, 2), 2: (1, 3), 3: (2,)}
+        assert len(max_clique_sequential(adj, WorkMeter())) == 2
+
+    def test_pruning_reduces_work(self):
+        """A pre-seeded bound must cut the work — the mechanism behind
+        the paper's superlinear speedup (§3)."""
+        g = preferential_attachment_graph(150, 8, triangle_prob=0.7, seed=2)
+        adj = adjacency_of(g)
+        cold = WorkMeter()
+        clique = max_clique_sequential(adj, cold)
+        warm = WorkMeter()
+        primed = SharedBound()
+        primed.record(clique)
+        max_clique_sequential(adj, warm, bound=primed)
+        assert warm.units < cold.units
+
+
+class TestInCandidates:
+    def test_respects_required_prefix(self, tiny_graph):
+        adj = {v: set(tiny_graph.neighbors(v)) for v in tiny_graph.vertices()}
+        bound = SharedBound()
+        best = max_clique_in_candidates([0], [1, 2], adj, bound, WorkMeter())
+        assert best == (0, 1, 2)
+
+    def test_prunes_with_tight_bound(self, tiny_graph):
+        adj = {v: set(tiny_graph.neighbors(v)) for v in tiny_graph.vertices()}
+        bound = SharedBound(initial=5)  # nothing here can beat 5
+        m = WorkMeter()
+        best = max_clique_in_candidates([0], [1, 2], adj, bound, m)
+        assert best is None
+        assert bound.value == 5
+
+    def test_empty_candidates_records_required(self):
+        bound = SharedBound()
+        best = max_clique_in_candidates([7], [], {7: set()}, bound, WorkMeter())
+        assert best == (7,)
+
+
+class TestMaximalCliques:
+    def test_two_triangles(self, tiny_graph):
+        cliques = maximal_cliques(adjacency_of(tiny_graph), WorkMeter())
+        assert (0, 1, 2) in cliques
+        assert (1, 2, 3) in cliques
+
+    def test_min_size_filter(self, tiny_graph):
+        cliques = maximal_cliques(adjacency_of(tiny_graph), WorkMeter(), min_size=3)
+        assert all(len(c) >= 3 for c in cliques)
+
+    def test_all_outputs_are_maximal_cliques(self, small_social_graph):
+        adj = adjacency_of(small_social_graph)
+        adj_sets = {v: set(ns) for v, ns in adj.items()}
+        cliques = maximal_cliques(adj, WorkMeter(), min_size=3)
+        for clique in cliques[:50]:
+            assert is_clique(small_social_graph, clique)
+            # maximality: no vertex extends it
+            common = set.intersection(*(adj_sets[v] for v in clique))
+            assert not (common - set(clique))

@@ -1,0 +1,59 @@
+"""Unit tests for work metering and budgets."""
+
+import pytest
+
+from repro.mining.cost import Budget, BudgetExceeded, WorkMeter
+
+
+class TestWorkMeter:
+    def test_accumulates(self):
+        m = WorkMeter()
+        m.charge()
+        m.charge(4.5)
+        assert m.units == pytest.approx(5.5)
+
+    def test_take_resets(self):
+        m = WorkMeter()
+        m.charge(10)
+        assert m.take() == 10
+        assert m.units == 0
+
+
+class TestBudget:
+    def test_raises_past_limit(self):
+        b = Budget(limit=10, check_interval=1)
+        b.charge(5)
+        with pytest.raises(BudgetExceeded):
+            b.charge(6)
+
+    def test_check_interval_amortises(self):
+        b = Budget(limit=10, check_interval=100)
+        # single large overshoot not yet checked...
+        b.charge(50)
+        with pytest.raises(BudgetExceeded):
+            b.check()
+
+    def test_exception_carries_amounts(self):
+        b = Budget(limit=10, check_interval=1)
+        try:
+            b.charge(20)
+        except BudgetExceeded as e:
+            assert e.spent == 20
+            assert e.limit == 10
+        else:
+            pytest.fail("should have raised")
+
+    def test_remaining(self):
+        b = Budget(limit=10, check_interval=1)
+        b.charge(3)
+        assert b.remaining == pytest.approx(7)
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            Budget(limit=0)
+
+    def test_within_limit_never_raises(self):
+        b = Budget(limit=1000, check_interval=1)
+        for _ in range(999):
+            b.charge()
+        b.check()

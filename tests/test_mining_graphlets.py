@@ -1,0 +1,140 @@
+"""Unit tests for the size-k graphlet kernels and the GL application."""
+
+import pytest
+
+from repro.apps import GraphletCountingApp
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.graph.algorithms import triangle_count_exact
+from repro.graph.graph import Graph
+from repro.mining.cost import WorkMeter
+from repro.mining.graphlets import (
+    classify_graphlet,
+    graphlet_count_sequential,
+    graphlets_for_seed,
+    merge_histograms,
+)
+from tests.conftest import adjacency_of
+
+
+class TestClassify:
+    @pytest.fixture
+    def shapes(self):
+        return {
+            "triangle": Graph.from_edges([(0, 1), (1, 2), (0, 2)]),
+            "path3": Graph.from_edges([(0, 1), (1, 2)]),
+            "clique4": Graph.from_edges(
+                [(i, j) for i in range(4) for j in range(i + 1, 4)]
+            ),
+            "cycle4": Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]),
+            "star4": Graph.from_edges([(0, 1), (0, 2), (0, 3)]),
+            "path4": Graph.from_edges([(0, 1), (1, 2), (2, 3)]),
+            "diamond": Graph.from_edges(
+                [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+            ),
+            "tailed-triangle": Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]),
+        }
+
+    def test_all_shapes_recognised(self, shapes):
+        for name, graph in shapes.items():
+            adj = adjacency_of(graph)
+            assert classify_graphlet(sorted(adj), adj, WorkMeter()) == name
+
+    def test_large_k_classified_by_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        adj = adjacency_of(g)
+        assert classify_graphlet([0, 1, 2, 3, 4], adj, WorkMeter()) == "k5-e4"
+
+    def test_disconnected_3set_rejected(self):
+        g = Graph.from_edges([(0, 1)], vertices=[0, 1, 2])
+        with pytest.raises(ValueError):
+            classify_graphlet([0, 1, 2], adjacency_of(g), WorkMeter())
+
+
+class TestEnumeration:
+    def test_triangle_graphlets_match_exact_count(self, small_social_graph):
+        adj = adjacency_of(small_social_graph)
+        histogram = graphlet_count_sequential(3, adj, WorkMeter())
+        assert histogram["triangle"] == triangle_count_exact(small_social_graph)
+
+    def test_k4_on_clique(self):
+        k5 = Graph.from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        histogram = graphlet_count_sequential(4, adjacency_of(k5), WorkMeter())
+        assert histogram == {"clique4": 5}  # C(5,4)
+
+    def test_k3_on_path(self):
+        path = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        histogram = graphlet_count_sequential(3, adjacency_of(path), WorkMeter())
+        assert histogram == {"path3": 2}
+
+    def test_per_seed_counts_each_set_once(self, tiny_graph):
+        adj = adjacency_of(tiny_graph)
+        total = merge_histograms(
+            graphlets_for_seed(v, 3, adj, WorkMeter()) for v in adj
+        )
+        expected = graphlet_count_sequential(3, adj, WorkMeter())
+        assert total == expected
+
+    def test_no_classification_mode(self, tiny_graph):
+        adj = adjacency_of(tiny_graph)
+        plain = graphlet_count_sequential(3, adj, WorkMeter(), classify=False)
+        classified = graphlet_count_sequential(3, adj, WorkMeter())
+        assert plain == {"total": sum(classified.values())}
+
+    def test_k_below_two_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            graphlets_for_seed(0, 1, adjacency_of(tiny_graph), WorkMeter())
+
+
+class TestAgainstBruteForce:
+    @staticmethod
+    def brute_force_count(adj, k):
+        from itertools import combinations
+
+        total = 0
+        for combo in combinations(sorted(adj), k):
+            cs = set(combo)
+            seen = {combo[0]}
+            stack = [combo[0]]
+            while stack:
+                v = stack.pop()
+                for u in adj[v]:
+                    if u in cs and u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+            if len(seen) == k:
+                total += 1
+        return total
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_esu_enumerates_every_connected_set_once(self, k):
+        from repro.graph.generators import preferential_attachment_graph
+
+        g = preferential_attachment_graph(25, 3, seed=9)
+        adj = adjacency_of(g)
+        esu = sum(graphlet_count_sequential(k, adj, WorkMeter()).values())
+        assert esu == self.brute_force_count(adj, k)
+
+
+class TestGLApp:
+    def test_k3_job_matches_sequential(self, small_social_graph, small_spec):
+        expected = graphlet_count_sequential(
+            3, adjacency_of(small_social_graph), WorkMeter()
+        )
+        config = GMinerConfig(cluster=small_spec)
+        result = GMinerJob(
+            GraphletCountingApp(k=3), small_social_graph, config
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == expected
+
+    def test_k4_job_on_small_graph(self, tiny_graph, small_spec):
+        expected = graphlet_count_sequential(
+            4, adjacency_of(tiny_graph), WorkMeter()
+        )
+        config = GMinerConfig(cluster=small_spec)
+        result = GMinerJob(GraphletCountingApp(k=4), tiny_graph, config).run()
+        assert result.value == expected
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            GraphletCountingApp(k=1)

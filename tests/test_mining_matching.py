@@ -1,0 +1,151 @@
+"""Unit tests for tree patterns and the graph-matching kernel."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.mining.cost import WorkMeter
+from repro.mining.matching import (
+    count_embeddings_from_seed,
+    estimate_partials_size,
+    frontier_vertices,
+    graph_matching_sequential,
+    match_level,
+)
+from repro.mining.patterns import PAPER_PATTERN, PatternNode, TreePattern, make_pattern
+from tests.conftest import adjacency_of, labels_of
+
+
+@pytest.fixture
+def figure1_graph():
+    """The paper's Figure 1 data graph (vertices 0..9 with labels).
+
+    Vertex 3 ('a') connects to 1, 2, 4, 5; 4 is 'b', 5 is 'c';
+    5 connects to 6..9; 6='d', 7='e', 8='d', 9='e'.
+    """
+    g = Graph.from_edges(
+        [
+            (3, 1), (3, 2), (3, 4), (3, 5),
+            (4, 5),
+            (5, 6), (5, 7), (5, 8), (5, 9),
+            (0, 1), (1, 2),
+        ]
+    )
+    labels = {
+        0: "f", 1: "d", 2: "e", 3: "a", 4: "b",
+        5: "c", 6: "d", 7: "e", 8: "d", 9: "e",
+    }
+    g.set_labels(labels)
+    return g
+
+
+class TestPattern:
+    def test_paper_pattern_shape(self):
+        assert PAPER_PATTERN.root_label == "a"
+        assert PAPER_PATTERN.depth == 2
+        assert PAPER_PATTERN.num_nodes == 5
+
+    def test_level_nodes(self):
+        level1 = PAPER_PATTERN.level_nodes(1)
+        assert [n.label for n in level1] == ["b", "c"]
+        level2 = PAPER_PATTERN.level_nodes(2)
+        assert [n.label for n in level2] == ["d", "e"]
+        assert all(n.parent == 1 for n in level2)  # children of 'c'
+
+    def test_level_out_of_range(self):
+        with pytest.raises(IndexError):
+            PAPER_PATTERN.level_nodes(3)
+        with pytest.raises(IndexError):
+            PAPER_PATTERN.level_nodes(0)
+
+    def test_bad_parent_rejected(self):
+        with pytest.raises(ValueError):
+            make_pattern("a", [("b", 5)])
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(ValueError):
+            TreePattern("a", ((),)).validate()
+
+
+class TestFigure1Walkthrough:
+    """Reproduces the paper's worked example."""
+
+    def test_seed_3_matches(self, figure1_graph):
+        adj = adjacency_of(figure1_graph)
+        labels = labels_of(figure1_graph)
+        count = count_embeddings_from_seed(3, PAPER_PATTERN, labels, adj, WorkMeter())
+        # level 1: b->4, c->5; level 2 under 5: d in {6,8}, e in {7,9}
+        assert count == 4
+
+    def test_non_root_seed_matches_nothing(self, figure1_graph):
+        adj = adjacency_of(figure1_graph)
+        labels = labels_of(figure1_graph)
+        assert count_embeddings_from_seed(5, PAPER_PATTERN, labels, adj, WorkMeter()) == 0
+
+    def test_round1_frontier_is_c_vertex(self, figure1_graph):
+        """After round 1 the candidates come from the 'c' match only —
+        the paper's {v6..v9} step."""
+        adj = adjacency_of(figure1_graph)
+        labels = labels_of(figure1_graph)
+        partials = match_level(
+            [((3,),)], PAPER_PATTERN.level_nodes(1), labels, adj, WorkMeter()
+        )
+        assert partials == [((3,), (4, 5))]
+        frontier = frontier_vertices(partials, PAPER_PATTERN, 2)
+        assert frontier == {5}
+
+
+class TestMatchLevel:
+    def test_distinctness_enforced(self):
+        # star: center 'a' with one neighbor labeled 'b' — a pattern
+        # with two 'b' children cannot reuse the same data vertex
+        g = Graph.from_edges([(0, 1)])
+        g.set_labels({0: "a", 1: "b"})
+        pattern = make_pattern("a", [("b", 0), ("b", 0)])
+        count = count_embeddings_from_seed(
+            0, pattern, labels_of(g), adjacency_of(g), WorkMeter()
+        )
+        assert count == 0
+
+    def test_sibling_permutations_counted(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        g.set_labels({0: "a", 1: "b", 2: "b"})
+        pattern = make_pattern("a", [("b", 0), ("b", 0)])
+        count = count_embeddings_from_seed(
+            0, pattern, labels_of(g), adjacency_of(g), WorkMeter()
+        )
+        assert count == 2  # (1,2) and (2,1)
+
+    def test_no_match_empty(self):
+        g = Graph.from_edges([(0, 1)])
+        g.set_labels({0: "a", 1: "z"})
+        pattern = make_pattern("a", [("b", 0)])
+        assert (
+            count_embeddings_from_seed(
+                0, pattern, labels_of(g), adjacency_of(g), WorkMeter()
+            )
+            == 0
+        )
+
+
+class TestSequential:
+    def test_sums_over_seeds(self, figure1_graph):
+        adj = adjacency_of(figure1_graph)
+        labels = labels_of(figure1_graph)
+        total = graph_matching_sequential(PAPER_PATTERN, labels, adj, WorkMeter())
+        assert total == 4  # only seed 3 matches
+
+    def test_deterministic_work(self, small_labeled_graph):
+        adj = adjacency_of(small_labeled_graph)
+        labels = labels_of(small_labeled_graph)
+        m1, m2 = WorkMeter(), WorkMeter()
+        c1 = graph_matching_sequential(PAPER_PATTERN, labels, adj, m1)
+        c2 = graph_matching_sequential(PAPER_PATTERN, labels, adj, m2)
+        assert c1 == c2
+        assert m1.units == m2.units
+
+
+def test_estimate_partials_size_scales():
+    small = estimate_partials_size([((1,),)])
+    big = estimate_partials_size([((1,), (2, 3)), ((4,), (5, 6))])
+    assert big > small
+    assert estimate_partials_size([]) == 0

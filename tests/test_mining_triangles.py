@@ -1,0 +1,65 @@
+"""Unit tests for the triangle-counting kernel."""
+
+import pytest
+
+from repro.graph.algorithms import triangle_count_exact
+from repro.mining.cost import WorkMeter
+from repro.mining.triangles import (
+    local_adjacency,
+    triangle_count_sequential,
+    triangles_for_seed,
+)
+from tests.conftest import adjacency_of
+
+
+class TestPerSeed:
+    def test_seed_counts_only_minimum_vertex_triangles(self, tiny_graph):
+        adj = adjacency_of(tiny_graph)
+        m = WorkMeter()
+        # triangle (0,1,2) is counted at seed 0 only
+        assert triangles_for_seed(0, adj[0], adj, m) == 1
+        # triangle (1,2,3) at seed 1
+        assert triangles_for_seed(1, adj[1], adj, m) == 1
+        assert triangles_for_seed(2, adj[2], adj, m) == 0
+        assert triangles_for_seed(4, adj[4], adj, m) == 0
+
+    def test_per_seed_sums_to_exact(self, small_social_graph):
+        adj = adjacency_of(small_social_graph)
+        m = WorkMeter()
+        total = sum(triangles_for_seed(v, adj[v], adj, m) for v in adj)
+        assert total == triangle_count_exact(small_social_graph)
+
+    def test_work_charged(self, tiny_graph):
+        adj = adjacency_of(tiny_graph)
+        m = WorkMeter()
+        triangles_for_seed(0, adj[0], adj, m)
+        assert m.units > 0
+
+    def test_restricted_adjacency_sufficient(self, tiny_graph):
+        """Only Γ(u) for higher neighbors u is needed — exactly what
+        the TC task pulls."""
+        adj = adjacency_of(tiny_graph)
+        higher = {u: adj[u] for u in adj[0] if u > 0}
+        m = WorkMeter()
+        assert triangles_for_seed(0, adj[0], higher, m) == 1
+
+
+class TestSequential:
+    def test_matches_oracle(self, small_social_graph):
+        adj = adjacency_of(small_social_graph)
+        count = triangle_count_sequential(adj, WorkMeter())
+        assert count == triangle_count_exact(small_social_graph)
+
+    def test_empty_graph(self):
+        assert triangle_count_sequential({}, WorkMeter()) == 0
+
+    def test_triangle_free(self):
+        adj = {0: (1,), 1: (0, 2), 2: (1,)}
+        assert triangle_count_sequential(adj, WorkMeter()) == 0
+
+
+def test_local_adjacency_materialises_subset(tiny_graph):
+    adj = adjacency_of(tiny_graph)
+    sub = local_adjacency([0, 1], adj)
+    assert set(sub) == {0, 1}
+    assert sub[0] == adj[0]

@@ -1,0 +1,56 @@
+"""Fast scalability sanity checks (miniature Figures 7–9).
+
+The full sweeps live in ``benchmarks/``; these small versions guard
+the *directions* in the regular test suite so a regression in core
+scheduling is caught within seconds.
+"""
+
+import pytest
+
+from repro.apps import TriangleCountingApp
+from repro.core import GMinerConfig, GMinerJob
+from repro.sim.cluster import ClusterSpec
+
+
+def run_tc(graph, nodes, cores):
+    config = GMinerConfig(cluster=ClusterSpec(num_nodes=nodes, cores_per_node=cores))
+    return GMinerJob(TriangleCountingApp(), graph, config).run()
+
+
+class TestVertical:
+    def test_more_cores_never_hurt_much(self, small_social_graph):
+        one = run_tc(small_social_graph, 4, 1)
+        four = run_tc(small_social_graph, 4, 4)
+        assert four.value == one.value
+        assert four.mining_seconds < one.mining_seconds
+
+    def test_work_conserved_across_cores(self, small_social_graph):
+        """Cores change elapsed time, not the work performed."""
+        one = run_tc(small_social_graph, 4, 1)
+        four = run_tc(small_social_graph, 4, 4)
+        assert one.stats["rounds_executed"] == four.stats["rounds_executed"]
+
+
+class TestHorizontal:
+    def test_more_nodes_spread_memory(self, small_social_graph):
+        two = run_tc(small_social_graph, 2, 2)
+        eight = run_tc(small_social_graph, 8, 2)
+        assert eight.value == two.value
+        # per-node footprint shrinks even if the cluster total grows
+        per_node_two = two.peak_memory_bytes / 2
+        per_node_eight = eight.peak_memory_bytes / 8
+        assert per_node_eight < per_node_two
+
+    def test_single_node_no_network(self, small_social_graph):
+        solo = run_tc(small_social_graph, 1, 4)
+        multi = run_tc(small_social_graph, 4, 4)
+        assert solo.stats["vertices_pulled"] == 0
+        assert multi.stats["vertices_pulled"] > 0
+        assert solo.value == multi.value
+
+
+class TestUtilizationDirection:
+    def test_fewer_cores_higher_utilization(self, small_social_graph):
+        packed = run_tc(small_social_graph, 4, 1)
+        roomy = run_tc(small_social_graph, 4, 8)
+        assert packed.cpu_utilization > roomy.cpu_utilization

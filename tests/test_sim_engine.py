@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order(sim):
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_fifo(sim):
+    fired = []
+    for name in "abc":
+        sim.schedule(1.0, lambda n=name: fired.append(n))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time(sim):
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5, 4.25]
+    assert sim.now == 4.25
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(5.0, lambda: fired.append("late"))
+    end = sim.run(until=2.0)
+    assert fired == ["early"]
+    assert end == 2.0
+    # remaining event still fires on a subsequent run
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_with_empty_heap_keeps_last_event_time(sim):
+    sim.schedule(1.0, lambda: None)
+    end = sim.run(until=100.0)
+    assert end == 1.0  # completion time, not the limit
+
+
+def test_nested_scheduling_from_callback(sim):
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_zero_delay_event_fires_at_current_time(sim):
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_stop_halts_processing(sim):
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_limit(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_peek_skips_cancelled(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_pending_counts_live_events(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    e1.cancel()
+    assert sim.pending() == 1
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

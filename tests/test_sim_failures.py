@@ -1,0 +1,63 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.sim.cluster import ClusterSpec, build_cluster
+from repro.sim.failures import FailureInjector, FailurePlan
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(ClusterSpec(num_nodes=3, cores_per_node=2))
+
+
+def test_kill_marks_node_dead(cluster):
+    plan = FailurePlan().kill(node_id=1, at_time=1.0)
+    injector = FailureInjector(cluster, plan)
+    injector.arm()
+    cluster.sim.run()
+    assert not cluster.node(1).alive
+    assert cluster.node(0).alive
+
+
+def test_recovery_restores_node(cluster):
+    plan = FailurePlan().kill(node_id=1, at_time=1.0, recovery_delay=2.0)
+    recovered = []
+    injector = FailureInjector(cluster, plan, on_recover=recovered.append)
+    injector.arm()
+    cluster.sim.run(until=2.0)
+    assert not cluster.node(1).alive
+    cluster.sim.run()
+    assert cluster.node(1).alive
+    assert recovered == [1]
+
+
+def test_on_fail_hook_fires(cluster):
+    failed = []
+    plan = FailurePlan().kill(node_id=2, at_time=0.5)
+    FailureInjector(cluster, plan, on_fail=failed.append).arm()
+    cluster.sim.run()
+    assert failed == [2]
+
+
+def test_network_drops_traffic_to_dead_node(cluster):
+    got = []
+    cluster.network.register_handler(1, lambda m: got.append(m))
+    plan = FailurePlan().kill(node_id=1, at_time=1.0)
+    FailureInjector(cluster, plan).arm()
+    cluster.sim.schedule(2.0, lambda: cluster.network.send(0, 1, 10, None))
+    cluster.sim.run()
+    assert got == []
+
+
+def test_double_kill_is_idempotent(cluster):
+    plan = FailurePlan().kill(1, 1.0).kill(1, 2.0)
+    injector = FailureInjector(cluster, plan)
+    injector.arm()
+    cluster.sim.run()
+    assert len(injector.failures_triggered) == 1
+
+
+def test_plan_iterates_in_time_order():
+    plan = FailurePlan().kill(1, 5.0).kill(2, 1.0)
+    assert [e.at_time for e in plan] == [1.0, 5.0]

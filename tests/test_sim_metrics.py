@@ -1,0 +1,114 @@
+"""Unit tests for resource metering and utilisation timelines."""
+
+import pytest
+
+from repro.sim.metrics import (
+    ByteCounter,
+    MemoryGauge,
+    ResourceMeter,
+    UtilizationTimeline,
+    merge_peaks,
+)
+
+
+class TestResourceMeter:
+    def test_begin_end_interval(self):
+        m = ResourceMeter("r", capacity=1)
+        token = m.begin(1.0)
+        m.end(3.0, token)
+        assert m.busy_unit_seconds() == pytest.approx(2.0)
+
+    def test_utilization_over_window(self):
+        m = ResourceMeter("r", capacity=2)
+        m.add_interval(0.0, 1.0, units=1)
+        m.add_interval(0.0, 1.0, units=1)
+        assert m.utilization(0.0, 1.0) == pytest.approx(1.0)
+        assert m.utilization(0.0, 2.0) == pytest.approx(0.5)
+
+    def test_partial_overlap_clipping(self):
+        m = ResourceMeter("r", capacity=1)
+        m.add_interval(1.0, 3.0)
+        assert m.busy_unit_seconds(0.0, 2.0) == pytest.approx(1.0)
+        assert m.busy_unit_seconds(2.5, 10.0) == pytest.approx(0.5)
+
+    def test_zero_length_interval_ignored(self):
+        m = ResourceMeter("r")
+        m.add_interval(1.0, 1.0)
+        assert m.busy_unit_seconds() == 0.0
+
+    def test_empty_window_zero_utilization(self):
+        m = ResourceMeter("r")
+        assert m.utilization(1.0, 1.0) == 0.0
+
+    def test_concurrent_tokens(self):
+        m = ResourceMeter("r", capacity=2)
+        t1 = m.begin(0.0)
+        t2 = m.begin(0.5)
+        m.end(1.0, t1)
+        m.end(1.5, t2)
+        assert m.busy_unit_seconds() == pytest.approx(2.0)
+
+
+class TestUtilizationTimeline:
+    def test_bins_and_values(self):
+        m = ResourceMeter("cpu", capacity=1)
+        m.add_interval(0.0, 1.0)
+        tl = UtilizationTimeline({"cpu": m})
+        times, series = tl.sample(end=2.0, bins=4)
+        assert len(times) == 4
+        assert series["cpu"] == pytest.approx([100.0, 100.0, 0.0, 0.0])
+
+    def test_bad_bins_rejected(self):
+        tl = UtilizationTimeline({})
+        with pytest.raises(ValueError):
+            tl.sample(end=1.0, bins=0)
+
+    def test_multiple_meters(self):
+        cpu = ResourceMeter("cpu", capacity=1)
+        net = ResourceMeter("net", capacity=1)
+        cpu.add_interval(0.0, 2.0)
+        net.add_interval(1.0, 2.0)
+        tl = UtilizationTimeline({"cpu": cpu, "net": net})
+        _, series = tl.sample(end=2.0, bins=2)
+        assert series["cpu"] == pytest.approx([100.0, 100.0])
+        assert series["net"] == pytest.approx([0.0, 100.0])
+
+
+class TestByteCounter:
+    def test_accumulates(self):
+        c = ByteCounter("n")
+        c.add(10)
+        c.add(5)
+        assert c.total == 15
+
+    def test_gigabytes(self):
+        c = ByteCounter("n")
+        c.add(2 * 10**9)
+        assert c.gigabytes == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ByteCounter("n").add(-1)
+
+
+class TestMemoryGauge:
+    def test_peak_tracks_maximum(self):
+        g = MemoryGauge("m")
+        g.allocate(100)
+        g.allocate(50)
+        g.free(120)
+        g.allocate(10)
+        assert g.current == 40
+        assert g.peak == 150
+
+    def test_free_clamps_at_zero(self):
+        g = MemoryGauge("m")
+        g.allocate(10)
+        g.free(100)
+        assert g.current == 0
+
+    def test_merge_peaks(self):
+        gauges = [MemoryGauge("a"), MemoryGauge("b")]
+        gauges[0].allocate(10)
+        gauges[1].allocate(20)
+        assert merge_peaks(gauges) == 30

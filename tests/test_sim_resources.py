@@ -1,0 +1,262 @@
+"""Unit tests for simulated resources: cores, network, disk, HDFS."""
+
+import pytest
+
+from repro.sim.cluster import ClusterSpec, Node, build_cluster
+from repro.sim.cpu import CorePool
+from repro.sim.disk import Disk
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulatedOOMError
+from repro.sim.hdfs import SimulatedHDFS
+from repro.sim.network import Network
+
+
+# ---------------------------------------------------------------- cores
+
+class TestCorePool:
+    def test_single_item_duration(self, sim):
+        pool = CorePool(sim, "cpu", cores=1, speed=100.0)
+        done = []
+        pool.submit(50.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_parallel_items_on_separate_cores(self, sim):
+        pool = CorePool(sim, "cpu", cores=2, speed=100.0)
+        done = []
+        pool.submit(100.0, lambda: done.append(sim.now))
+        pool.submit(100.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_queueing_when_cores_busy(self, sim):
+        pool = CorePool(sim, "cpu", cores=1, speed=100.0)
+        done = []
+        pool.submit(100.0, lambda: done.append(sim.now))
+        pool.submit(100.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_lazy_factory_runs_at_core_start(self, sim):
+        pool = CorePool(sim, "cpu", cores=1, speed=100.0)
+        seen = []
+
+        def factory():
+            seen.append(("started", sim.now))
+            return (100.0, lambda: seen.append(("done", sim.now)))
+
+        pool.submit(100.0, lambda: None)  # occupies the core until t=1
+        pool.submit_lazy(factory)
+        sim.run()
+        assert seen[0] == ("started", pytest.approx(1.0))
+        assert seen[1] == ("done", pytest.approx(2.0))
+
+    def test_lazy_front_runs_before_queue(self, sim):
+        pool = CorePool(sim, "cpu", cores=1, speed=100.0)
+        order = []
+        pool.submit(100.0, lambda: order.append("running"))
+        pool.submit_lazy(lambda: (10.0, lambda: order.append("back")))
+        pool.submit_lazy(lambda: (10.0, lambda: order.append("front")), front=True)
+        sim.run()
+        assert order == ["running", "front", "back"]
+
+    def test_utilization_full_when_busy(self, sim):
+        pool = CorePool(sim, "cpu", cores=2, speed=100.0)
+        pool.submit(100.0, lambda: None)
+        pool.submit(100.0, lambda: None)
+        sim.run()
+        assert pool.utilization(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_utilization_half_with_one_core_busy(self, sim):
+        pool = CorePool(sim, "cpu", cores=2, speed=100.0)
+        pool.submit(100.0, lambda: None)
+        sim.run()
+        assert pool.utilization(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_halt_drops_queue(self, sim):
+        pool = CorePool(sim, "cpu", cores=1, speed=100.0)
+        done = []
+        pool.submit(100.0, lambda: done.append("a"))
+        pool.submit(100.0, lambda: done.append("b"))
+        sim.schedule(0.5, pool.halt)
+        sim.run()
+        assert done == []  # in-flight completion suppressed, queue dropped
+
+    def test_rejects_bad_parameters(self, sim):
+        with pytest.raises(ValueError):
+            CorePool(sim, "cpu", cores=0, speed=1.0)
+        with pytest.raises(ValueError):
+            CorePool(sim, "cpu", cores=1, speed=0.0)
+        pool = CorePool(sim, "cpu", cores=1, speed=1.0)
+        with pytest.raises(ValueError):
+            pool.submit(-1.0, lambda: None)
+
+
+# ---------------------------------------------------------------- network
+
+class TestNetwork:
+    def test_delivery_invokes_handler(self, sim):
+        net = Network(sim, num_nodes=2, latency=0.001, bandwidth=1000.0)
+        got = []
+        net.register_handler(1, lambda m: got.append((m.payload, sim.now)))
+        net.send(0, 1, 100, "hello")
+        sim.run()
+        # serialisation 100/1000 = 0.1s + latency 0.001
+        assert got == [("hello", pytest.approx(0.101))]
+
+    def test_local_delivery_is_free(self, sim):
+        net = Network(sim, num_nodes=1, latency=0.5, bandwidth=1.0)
+        got = []
+        net.register_handler(0, lambda m: got.append(sim.now))
+        net.send(0, 0, 10**6, None)
+        sim.run()
+        assert got == [0.0]
+        assert net.bytes_counter.total == 0
+
+    def test_nic_serialises_messages(self, sim):
+        net = Network(sim, num_nodes=3, latency=0.0, bandwidth=100.0)
+        got = []
+        net.register_handler(1, lambda m: got.append(sim.now))
+        net.register_handler(2, lambda m: got.append(sim.now))
+        net.send(0, 1, 100, None)
+        net.send(0, 2, 100, None)
+        sim.run()
+        assert got == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_bytes_counted(self, sim):
+        net = Network(sim, num_nodes=2, latency=0.0, bandwidth=1000.0)
+        net.register_handler(1, lambda m: None)
+        net.send(0, 1, 123, None)
+        net.send(0, 1, 77, None)
+        sim.run()
+        assert net.bytes_counter.total == 200
+
+    def test_down_node_drops_traffic(self, sim):
+        net = Network(sim, num_nodes=2, latency=0.0, bandwidth=1000.0)
+        got = []
+        net.register_handler(1, lambda m: got.append(m))
+        net.set_node_down(1)
+        net.send(0, 1, 10, None)
+        sim.run()
+        assert got == []
+        net.set_node_down(1, False)
+        net.send(0, 1, 10, None)
+        sim.run()
+        assert len(got) == 1
+
+    def test_on_delivered_callback(self, sim):
+        net = Network(sim, num_nodes=2, latency=0.0, bandwidth=1000.0)
+        got = []
+        net.send(0, 1, 10, "p", on_delivered=lambda m: got.append(m.payload))
+        sim.run()
+        assert got == ["p"]
+
+
+# ---------------------------------------------------------------- disk
+
+class TestDisk:
+    def test_read_duration(self, sim):
+        disk = Disk(sim, 0, read_bandwidth=100.0, write_bandwidth=100.0, latency=0.5)
+        done = []
+        disk.read(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.5)]
+
+    def test_requests_are_fifo(self, sim):
+        disk = Disk(sim, 0, read_bandwidth=100.0, write_bandwidth=100.0, latency=0.0)
+        done = []
+        disk.write(100, lambda: done.append(("w", sim.now)))
+        disk.read(100, lambda: done.append(("r", sim.now)))
+        sim.run()
+        assert done == [("w", pytest.approx(1.0)), ("r", pytest.approx(2.0))]
+
+    def test_bytes_accounted(self, sim):
+        disk = Disk(sim, 0)
+        disk.read(100, lambda: None)
+        disk.write(200, lambda: None)
+        sim.run()
+        assert disk.bytes_read.total == 100
+        assert disk.bytes_written.total == 200
+
+    def test_negative_size_rejected(self, sim):
+        disk = Disk(sim, 0)
+        with pytest.raises(ValueError):
+            disk.read(-1, lambda: None)
+
+
+# ---------------------------------------------------------------- HDFS
+
+class TestHDFS:
+    def test_write_then_read_roundtrip(self, sim):
+        hdfs = SimulatedHDFS(sim)
+        got = []
+        hdfs.write("a/b", {"k": 1}, size_bytes=1000,
+                   on_done=lambda: hdfs.read("a/b", on_done=got.append))
+        sim.run()
+        assert got == [{"k": 1}]
+
+    def test_replication_multiplies_write_cost(self, sim):
+        h1 = SimulatedHDFS(sim, replication=1)
+        h3 = SimulatedHDFS(sim, replication=3)
+        d1 = h1.write("p", None, 10**6)
+        d3 = h3.write("p", None, 10**6)
+        assert d3 > d1
+
+    def test_read_missing_path_raises(self, sim):
+        hdfs = SimulatedHDFS(sim)
+        with pytest.raises(FileNotFoundError):
+            hdfs.read("nope")
+
+    def test_contents_survive_everything(self, sim):
+        """HDFS is the durable store: content persists (that is what
+        makes checkpoint recovery possible)."""
+        hdfs = SimulatedHDFS(sim)
+        hdfs.write("ckpt", [1, 2, 3], 24)
+        assert hdfs.read_now("ckpt") == [1, 2, 3]
+        assert hdfs.exists("ckpt")
+        hdfs.delete("ckpt")
+        assert not hdfs.exists("ckpt")
+
+
+# ---------------------------------------------------------------- node / cluster
+
+class TestNodeAndCluster:
+    def test_memory_limit_enforced(self, sim):
+        spec = ClusterSpec(num_nodes=1, memory_per_node=1000)
+        node = Node(sim, 0, spec)
+        node.allocate(900)
+        with pytest.raises(SimulatedOOMError):
+            node.allocate(200)
+
+    def test_free_releases_memory(self, sim):
+        spec = ClusterSpec(num_nodes=1, memory_per_node=1000)
+        node = Node(sim, 0, spec)
+        node.allocate(900)
+        node.free(800)
+        node.allocate(500)  # fits again
+        assert node.memory.current == 600
+        assert node.memory.peak == 900
+
+    def test_fail_and_recover(self, sim):
+        spec = ClusterSpec(num_nodes=1)
+        node = Node(sim, 0, spec)
+        node.allocate(100)
+        node.fail()
+        assert not node.alive
+        node.recover()
+        assert node.alive
+        assert node.memory.current == 0
+
+    def test_build_cluster_shapes(self):
+        spec = ClusterSpec(num_nodes=3, cores_per_node=2)
+        cluster = build_cluster(spec, extra_network_endpoints=1)
+        assert len(cluster.nodes) == 3
+        assert cluster.spec.total_cores == 6
+        # the extra endpoint is addressable
+        cluster.network.register_handler(3, lambda m: None)
+
+    def test_spec_with_helpers(self):
+        spec = ClusterSpec(num_nodes=5, cores_per_node=8)
+        assert spec.with_nodes(2).num_nodes == 2
+        assert spec.with_cores(4).cores_per_node == 4
+        assert spec.with_nodes(2).cores_per_node == 8

@@ -1,0 +1,115 @@
+"""Focused tests on worker/master mechanics through a real job,
+inspecting internal state the coarse integration tests don't reach."""
+
+import pytest
+
+from repro.apps import MaxCliqueApp, TriangleCountingApp
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.core.task import TaskStatus
+from repro.graph.algorithms import triangle_count_exact
+from repro.sim.cluster import ClusterSpec
+
+
+def run(app, graph, spec, **overrides):
+    config = GMinerConfig(cluster=spec).replace(**overrides)
+    job = GMinerJob(app, graph, config)
+    result = job.run()
+    return job, result
+
+
+class TestPipelineMechanics:
+    def test_all_workers_participate(self, small_social_graph, small_spec):
+        job, _ = run(TriangleCountingApp(), small_social_graph, small_spec)
+        assert all(w.stats.tasks_seeded > 0 for w in job.workers)
+        assert all(w.stats.rounds_executed > 0 for w in job.workers)
+
+    def test_pulls_happen_and_are_served(self, small_social_graph, small_spec):
+        job, result = run(TriangleCountingApp(), small_social_graph, small_spec)
+        assert result.stats["vertices_pulled"] > 0
+        assert sum(w.stats.pulls_sent for w in job.workers) > 0
+
+    def test_pipeline_drained_at_finish(self, small_social_graph, small_spec):
+        job, _ = run(TriangleCountingApp(), small_social_graph, small_spec)
+        for w in job.workers:
+            assert len(w.store) == 0
+            assert not w.cmq
+            assert not w.task_buffer
+            assert not w.inflight
+            assert w.node.cores.busy_cores == 0
+            assert w.idle
+
+    def test_cache_refs_all_released(self, small_social_graph, small_spec):
+        job, _ = run(TriangleCountingApp(), small_social_graph, small_spec)
+        for w in job.workers:
+            for cache in w.caches:
+                for vid in list(cache._entries):
+                    assert cache.refs(vid) == 0
+
+    def test_tasks_counted_consistently(self, small_social_graph, small_spec):
+        job, result = run(TriangleCountingApp(), small_social_graph, small_spec)
+        seeded = sum(w.stats.tasks_seeded for w in job.workers)
+        completed = sum(w.stats.tasks_completed for w in job.workers)
+        assert seeded == completed == result.stats["tasks_created"]
+
+    def test_results_deduplicated_by_task(self, small_social_graph, small_spec):
+        job, result = run(TriangleCountingApp(), small_social_graph, small_spec)
+        ids = [tid for w in job.workers for tid in w.results]
+        assert len(ids) == len(set(ids))
+
+
+class TestStealingMechanics:
+    def test_steals_move_load(self, small_social_graph, small_spec):
+        # partition by BDG to create skew, then check migration balance
+        job, result = run(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            partitioner="bdg",
+        )
+        out = sum(w.stats.tasks_migrated_out for w in job.workers)
+        into = sum(w.stats.tasks_migrated_in for w in job.workers)
+        assert out == into  # nothing lost in transit
+
+    def test_no_stealing_when_disabled(self, small_social_graph, small_spec):
+        job, _ = run(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            enable_stealing=False,
+        )
+        assert sum(w.stats.tasks_migrated_in for w in job.workers) == 0
+        assert job.master.steals_brokered == 0
+
+    def test_master_progress_table_populated(self, small_social_graph, small_spec):
+        job, _ = run(TriangleCountingApp(), small_social_graph, small_spec)
+        assert set(job.master.progress_table) == set(range(small_spec.num_nodes))
+
+
+class TestAggregatorFlow:
+    def test_bound_broadcast_reaches_workers(self, small_social_graph, small_spec):
+        # sync aggressively so broadcasts land within the short job
+        job, result = run(
+            MaxCliqueApp(), small_social_graph, small_spec,
+            agg_interval=0.001, progress_interval=0.001,
+        )
+        best = len(result.value)
+        # at least one worker besides the finder learned the bound via
+        # broadcast (global_value, not just local_partial)
+        learned = [
+            w for w in job.workers if w.agg.global_value == best
+        ]
+        assert learned
+
+    def test_no_aggregator_for_tc(self, small_social_graph, small_spec):
+        job, _ = run(TriangleCountingApp(), small_social_graph, small_spec)
+        assert all(w.agg is None for w in job.workers)
+
+
+class TestTimeLimit:
+    def test_timeout_status(self, small_social_graph, small_spec):
+        _, result = run(
+            TriangleCountingApp(), small_social_graph, small_spec,
+            time_limit=1e-6,
+        )
+        assert result.status is JobStatus.TIMEOUT
+
+    def test_oom_status_with_tiny_memory(self, small_social_graph):
+        spec = ClusterSpec(num_nodes=2, cores_per_node=2, memory_per_node=10_000)
+        _, result = run(TriangleCountingApp(), small_social_graph, spec)
+        assert result.status is JobStatus.OOM
