@@ -1,19 +1,28 @@
 """Benchmark harness: regenerate every table and figure of the paper.
 
-:mod:`repro.bench.runner` runs any workload on any system (G-Miner or
-a baseline) with the scaled experiment defaults; :mod:`repro.bench.report`
-renders rows the way the paper's tables do ("x" for OOM, "-" for over
-the time limit); :mod:`repro.bench.experiments` defines one function
-per table/figure, each returning an :class:`ExperimentReport` that the
-``benchmarks/`` suite executes and EXPERIMENTS.md records.
+:func:`repro.bench.run` is the single entrypoint for running any
+workload on any system (G-Miner or a baseline) with the scaled
+experiment defaults; batches of cells fan out over host cores via
+:mod:`repro.parallel` (``python -m repro.bench run all --workers N``).
+:mod:`repro.bench.report` renders rows the way the paper's tables do
+("x" for OOM, "-" for over the time limit);
+:mod:`repro.bench.experiments` defines one function per table/figure,
+each returning an :class:`ExperimentReport` that the ``benchmarks/``
+suite executes and EXPERIMENTS.md records.
+
+``run_system``/``run_gminer`` are deprecated shims over :func:`run`.
 """
 
 from repro.bench.runner import (
     EXPERIMENT_SPEC,
     DEFAULT_TIME_LIMIT,
+    SYSTEMS,
     build_app,
+    execute_request,
     prepare_dataset,
+    run,
     run_gminer,
+    run_many,
     run_system,
 )
 from repro.bench.report import ExperimentReport, format_cell, render_table
@@ -22,9 +31,13 @@ from repro.bench import experiments
 __all__ = [
     "EXPERIMENT_SPEC",
     "DEFAULT_TIME_LIMIT",
+    "SYSTEMS",
     "build_app",
+    "execute_request",
     "prepare_dataset",
+    "run",
     "run_gminer",
+    "run_many",
     "run_system",
     "ExperimentReport",
     "format_cell",

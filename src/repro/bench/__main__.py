@@ -5,9 +5,16 @@ Run one experiment (or all of them) without pytest::
     python -m repro.bench list                 # show experiment ids
     python -m repro.bench run table1           # one table/figure
     python -m repro.bench run all -o results/  # everything, archived
+    python -m repro.bench run table3_tc_mcf --workers 8   # fan out cells
+    python -m repro.bench run all --no-cache   # rebuild every input
 
 Each experiment prints in the paper's format and, with ``-o``, is also
-written to ``<dir>/<id>.txt``.
+written to ``<dir>/<id>.txt``.  Independent cells fan out over
+``--workers`` processes (default: every host core) with results in
+deterministic order, so the report *contents* never depend on the
+worker count; generated datasets and partition assignments are reused
+via a content-keyed build cache under ``--cache-dir`` (default
+``.repro-cache/``) unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import sys
 import time
 
 from repro.bench import experiments
+from repro.parallel import BuildCache, DEFAULT_CACHE_DIR, default_workers, parallel_context
 
 
 def _registry():
@@ -30,7 +38,7 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(names, out_dir) -> int:
+def cmd_run(names, out_dir, workers, cache) -> int:
     registry = _registry()
     if names == ["all"]:
         names = list(registry)
@@ -41,9 +49,19 @@ def cmd_run(names, out_dir) -> int:
         return 2
     for name in names:
         started = time.time()
-        report = registry[name]()
+        # one context per experiment: the footer covers exactly this
+        # experiment's cells, while the BuildCache object (and its disk
+        # level) is shared across the whole invocation
+        with parallel_context(workers=workers, cache=cache) as runner:
+            report = registry[name]()
+            report.footer = runner.footer_summary()
         print(report)
-        print(f"[{name} completed in {time.time() - started:.1f}s wall clock]")
+        stats = runner.cache_stats()
+        hits, misses = stats["hits"], stats["misses"]
+        print(
+            f"[{name} completed in {time.time() - started:.1f}s wall clock, "
+            f"workers={runner.workers}, build cache: {hits} hits / {misses} misses]"
+        )
         print()
         if out_dir:
             report.save(out_dir)
@@ -60,10 +78,25 @@ def main(argv=None) -> int:
     run = sub.add_parser("run", help="run experiments by function name")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
     run.add_argument("-o", "--out-dir", default=None, help="archive directory")
+    run.add_argument(
+        "-w", "--workers", type=int, default=None,
+        help="experiment cells to run concurrently (processes; "
+        "default: all host cores)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the build cache (rebuild datasets/partitions every cell)",
+    )
+    run.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="build cache directory (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
-    return cmd_run(args.names, args.out_dir)
+    workers = args.workers if args.workers is not None else default_workers()
+    cache = None if args.no_cache else BuildCache(directory=args.cache_dir)
+    return cmd_run(args.names, args.out_dir, workers, cache)
 
 
 if __name__ == "__main__":

@@ -5,28 +5,37 @@ format, records *shape checks* (the qualitative claims that should
 survive scaling: who wins, who fails, what direction each knob moves)
 and documents deviations.  ``benchmarks/`` executes these under
 pytest-benchmark; EXPERIMENTS.md archives their output.
+
+Every experiment first *declares* its grid of independent cells as
+:class:`~repro.parallel.RunRequest` records, then executes the batch
+through the ambient :class:`~repro.parallel.ParallelRunner`
+(:func:`_run_cells`).  Results come back in request order, so the
+assembled tables are byte-identical whether the batch ran serially or
+fanned out over ``--workers N`` processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.report import ExperimentReport, format_cell, render_series, render_table
-from repro.bench.runner import (
-    DEFAULT_TIME_LIMIT,
-    EXPERIMENT_SPEC,
-    build_app,
-    prepare_dataset,
-    run_gminer,
-    run_system,
-)
+from repro.bench.runner import EXPERIMENT_SPEC
 from repro.core.job import JobResult, JobStatus
 from repro.graph.datasets import dataset_table
+from repro.parallel import RunRequest, current_runner
 from repro.sim.cluster import ClusterSpec
 from repro.sim.failures import FailurePlan
 
 NON_ATTRIBUTED = ("skitter-s", "orkut-s", "btc-s", "friendster-s")
 COMPARED_SYSTEMS = ("arabesque", "giraph", "graphx", "gthinker", "gminer")
+
+#: Declarative cell builder, re-exported for brevity in the grids below.
+_cell = RunRequest.make
+
+
+def _run_cells(requests: Sequence[RunRequest]) -> List[Optional[JobResult]]:
+    """Execute a batch of cells via the ambient runner, in order."""
+    return current_runner().map(list(requests))
 
 
 def _spec(num_nodes: int, cores: int) -> ClusterSpec:
@@ -41,12 +50,19 @@ def table1_motivation() -> ExperimentReport:
     """MCF on orkut-s, 8 worker nodes, every system + single thread."""
     spec = _spec(8, EXPERIMENT_SPEC.cores_per_node)
     systems = ["single-thread", "arabesque", "giraph", "graphx", "gthinker", "gminer"]
+    requests = [
+        _cell(
+            "mcf", "orkut-s", system,
+            spec=ClusterSpec(num_nodes=1, cores_per_node=1)
+            if system == "single-thread"
+            else spec,
+        )
+        for system in systems
+    ]
+    results: Dict[str, Optional[JobResult]] = dict(zip(systems, _run_cells(requests)))
     rows: List[List[str]] = []
-    results: Dict[str, Optional[JobResult]] = {}
     for system in systems:
-        run_spec = ClusterSpec(num_nodes=1, cores_per_node=1) if system == "single-thread" else spec
-        result = run_system(system, "mcf", "orkut-s", spec=run_spec)
-        results[system] = result
+        result = results[system]
         cores = 1 if system == "single-thread" else spec.total_cores
         rows.append(
             [
@@ -106,20 +122,22 @@ def table2_datasets() -> ExperimentReport:
 
 def table3_tc_mcf() -> ExperimentReport:
     """TC & MCF elapsed time: 4 graphs x 5 systems (paper Table 3)."""
+    cases = [(app, dataset) for app in ("tc", "mcf") for dataset in NON_ATTRIBUTED]
+    requests = [
+        _cell(app, dataset, system)
+        for app, dataset in cases
+        for system in COMPARED_SYSTEMS
+    ]
+    results = _run_cells(requests)
     row_labels: List[str] = []
     rows: List[List[str]] = []
     data: Dict[str, Dict[str, Optional[JobResult]]] = {}
-    for app in ("tc", "mcf"):
-        for dataset in NON_ATTRIBUTED:
-            label = f"{app.upper()} {dataset}"
-            row_labels.append(label)
-            cells = []
-            data[label] = {}
-            for system in COMPARED_SYSTEMS:
-                result = run_system(system, app, dataset)
-                data[label][system] = result
-                cells.append(format_cell(result))
-            rows.append(cells)
+    for i, (app, dataset) in enumerate(cases):
+        label = f"{app.upper()} {dataset}"
+        row_labels.append(label)
+        block = results[i * len(COMPARED_SYSTEMS):(i + 1) * len(COMPARED_SYSTEMS)]
+        data[label] = dict(zip(COMPARED_SYSTEMS, block))
+        rows.append([format_cell(result) for result in block])
     rendered = render_table(
         "Table 3: elapsed time in seconds ('-': over limit; 'x': OOM)",
         list(COMPARED_SYSTEMS),
@@ -172,12 +190,17 @@ def table3_tc_mcf() -> ExperimentReport:
 
 def table4_gm() -> ExperimentReport:
     """GM resource comparison, G-Miner vs G-thinker (paper Table 4)."""
+    requests = [
+        _cell("gm", dataset, system)
+        for dataset in NON_ATTRIBUTED
+        for system in ("gminer", "gthinker")
+    ]
+    results = _run_cells(requests)
     rows = []
     labels = []
     data: Dict[str, Dict[str, JobResult]] = {}
-    for dataset in NON_ATTRIBUTED:
-        gm = run_system("gminer", "gm", dataset)
-        gt = run_system("gthinker", "gm", dataset)
+    for i, dataset in enumerate(NON_ATTRIBUTED):
+        gm, gt = results[2 * i], results[2 * i + 1]
         data[dataset] = {"gminer": gm, "gthinker": gt}
         labels.append(dataset)
         rows.append(
@@ -237,20 +260,26 @@ def table5_cd_gc() -> ExperimentReport:
     """CD & GC on G-Miner, the only system that runs them (Table 5)."""
     cd_datasets = ("skitter-s", "orkut-s", "friendster-s", "dblp-s", "tencent-s")
     gc_datasets = ("skitter-s", "orkut-s", "friendster-s", "dblp-s")  # paper: no Tencent
-    rows, labels = [], []
-    data: Dict[str, JobResult] = {}
     # GC is the paper's heaviest workload (9h on Friendster vs 26min
     # for MCF); it gets the proportionally longer cutoff here too.
-    for app, datasets in (("cd", cd_datasets), ("gc", gc_datasets)):
-        for dataset in datasets:
-            result = run_gminer(app, dataset, time_limit=150.0)
-            key = f"{app.upper()} {dataset}"
-            data[key] = result
-            labels.append(key)
-            found = len(result.value) if result.value else 0
-            rows.append(
-                [format_cell(result), format_cell(result, "mem"), str(found)]
-            )
+    cases = [
+        (app, dataset)
+        for app, datasets in (("cd", cd_datasets), ("gc", gc_datasets))
+        for dataset in datasets
+    ]
+    results = _run_cells(
+        [_cell(app, dataset, time_limit=150.0) for app, dataset in cases]
+    )
+    rows, labels = [], []
+    data: Dict[str, JobResult] = {}
+    for (app, dataset), result in zip(cases, results):
+        key = f"{app.upper()} {dataset}"
+        data[key] = result
+        labels.append(key)
+        found = len(result.value) if result.value else 0
+        rows.append(
+            [format_cell(result), format_cell(result, "mem"), str(found)]
+        )
     rendered = render_table(
         "Table 5: CD & GC on G-Miner (no baseline can express them)",
         ["Time(s)", "Mem", "Found"],
@@ -274,8 +303,12 @@ def table5_cd_gc() -> ExperimentReport:
 
 def fig5_6_utilization(bins: int = 30) -> ExperimentReport:
     """Utilisation timelines, GM on Friendster (paper Figures 5-6)."""
-    gt = run_system("gthinker", "gm", "friendster-s", time_limit=60.0)
-    gm = run_system("gminer", "gm", "friendster-s", time_limit=60.0)
+    gt, gm = _run_cells(
+        [
+            _cell("gm", "friendster-s", "gthinker", time_limit=60.0),
+            _cell("gm", "friendster-s", "gminer", time_limit=60.0),
+        ]
+    )
     t_gt, s_gt = gt.utilization_series(bins=bins)
     t_gm, s_gm = gm.utilization_series(bins=bins)
     part1 = render_series(
@@ -316,20 +349,26 @@ def fig5_6_utilization(bins: int = 30) -> ExperimentReport:
 def fig7_cost(core_counts: Sequence[int] = (1, 2, 4, 8, 12, 24)) -> ExperimentReport:
     """The COST metric: cores needed to beat one thread (Figure 7)."""
     cases = [("tc", "skitter-s"), ("tc", "orkut-s"), ("gm", "skitter-s"), ("gm", "orkut-s")]
+    requests = []
+    for app, dataset in cases:
+        requests.append(_cell(app, dataset, "single-thread"))
+        for cores in core_counts:
+            requests.append(
+                _cell(app, dataset, spec=_spec(1, cores), time_limit=None)
+            )
+    results = _run_cells(requests)
     series: Dict[str, List[float]] = {}
     single: Dict[str, float] = {}
     cost: Dict[str, Optional[int]] = {}
-    for app, dataset in cases:
+    stride = 1 + len(core_counts)
+    for i, (app, dataset) in enumerate(cases):
         name = f"{app}-{dataset}"
-        st = run_system("single-thread", app, dataset)
-        single[name] = st.total_seconds
-        times = []
-        for cores in core_counts:
-            r = run_gminer(app, dataset, spec=_spec(1, cores), time_limit=None)
-            times.append(r.total_seconds)
+        block = results[i * stride:(i + 1) * stride]
+        single[name] = block[0].total_seconds
+        times = [r.total_seconds for r in block[1:]]
         series[name] = times
         cost[name] = next(
-            (c for c, t in zip(core_counts, times) if t < st.total_seconds), None
+            (c for c, t in zip(core_counts, times) if t < single[name]), None
         )
     rendered = render_series(
         "Figure 7: G-Miner on one node (seconds; single-thread baseline in data)",
@@ -364,13 +403,18 @@ def fig7_cost(core_counts: Sequence[int] = (1, 2, 4, 8, 12, 24)) -> ExperimentRe
 
 def fig8_vertical(core_counts: Sequence[int] = (1, 2, 4, 8, 12, 24)) -> ExperimentReport:
     """Vertical scalability: cores/node sweep (paper Figure 8)."""
+    apps = ("mcf", "gm")
+    results = _run_cells(
+        [
+            _cell(app, "friendster-s", spec=_spec(15, cores), time_limit=None)
+            for app in apps
+            for cores in core_counts
+        ]
+    )
     series: Dict[str, List[float]] = {}
-    for app in ("mcf", "gm"):
-        times = []
-        for cores in core_counts:
-            r = run_gminer(app, "friendster-s", spec=_spec(15, cores), time_limit=None)
-            times.append(r.total_seconds)
-        series[f"{app}-friendster-s"] = times
+    for i, app in enumerate(apps):
+        block = results[i * len(core_counts):(i + 1) * len(core_counts)]
+        series[f"{app}-friendster-s"] = [r.total_seconds for r in block]
     rendered = render_series(
         "Figure 8: vertical scalability (15 nodes, cores/node swept)",
         "cores/node", list(core_counts), series,
@@ -387,13 +431,18 @@ def fig8_vertical(core_counts: Sequence[int] = (1, 2, 4, 8, 12, 24)) -> Experime
 
 def fig9_horizontal(node_counts: Sequence[int] = (10, 15, 20)) -> ExperimentReport:
     """Horizontal scalability: node-count sweep (paper Figure 9)."""
+    apps = ("mcf", "gm")
+    results = _run_cells(
+        [
+            _cell(app, "friendster-s", spec=_spec(nodes, 4), time_limit=None)
+            for app in apps
+            for nodes in node_counts
+        ]
+    )
     series: Dict[str, List[float]] = {}
-    for app in ("mcf", "gm"):
-        times = []
-        for nodes in node_counts:
-            r = run_gminer(app, "friendster-s", spec=_spec(nodes, 4), time_limit=None)
-            times.append(r.total_seconds)
-        series[f"{app}-friendster-s"] = times
+    for i, app in enumerate(apps):
+        block = results[i * len(node_counts):(i + 1) * len(node_counts)]
+        series[f"{app}-friendster-s"] = [r.total_seconds for r in block]
     rendered = render_series(
         "Figure 9: horizontal scalability (4 cores/node, nodes swept)",
         "nodes", list(node_counts), series,
@@ -417,16 +466,26 @@ def fig10_baseline_scalability(
 ) -> ExperimentReport:
     """Scalability of the other systems on TC (paper Figure 10)."""
     datasets = ("skitter-s", "orkut-s")
+    systems = ("arabesque", "giraph", "graphx", "gthinker")
+    results = _run_cells(
+        [
+            _cell("tc", dataset, system, spec=_spec(nodes, 4))
+            for dataset in datasets
+            for system in systems
+            for nodes in node_counts
+        ]
+    )
     blocks = []
     data: Dict[str, Dict[str, List[float]]] = {}
+    index = 0
     for dataset in datasets:
         series: Dict[str, List[float]] = {}
-        for system in ("arabesque", "giraph", "graphx", "gthinker"):
-            times = []
-            for nodes in node_counts:
-                r = run_system(system, "tc", dataset, spec=_spec(nodes, 4))
-                times.append(r.total_seconds if r.ok else float("nan"))
-            series[system] = times
+        for system in systems:
+            block = results[index:index + len(node_counts)]
+            index += len(node_counts)
+            series[system] = [
+                r.total_seconds if r.ok else float("nan") for r in block
+            ]
         data[dataset] = series
         blocks.append(
             render_series(
@@ -447,14 +506,21 @@ def fig10_baseline_scalability(
 
 def fig11_bdg() -> ExperimentReport:
     """BDG vs hash partitioning on MCF (paper Figure 11)."""
+    datasets = ("orkut-s", "friendster-s")
+    parts = ("hash", "bdg")
+    results = _run_cells(
+        [
+            _cell("mcf", dataset, partitioner=part)
+            for dataset in datasets
+            for part in parts
+        ]
+    )
     rows, labels = [], []
     data: Dict[str, Dict[str, JobResult]] = {}
-    for dataset in ("orkut-s", "friendster-s"):
-        runs = {}
-        for part in ("hash", "bdg"):
-            runs[part] = run_gminer("mcf", dataset, partitioner=part)
+    for i, dataset in enumerate(datasets):
+        runs = dict(zip(parts, results[i * len(parts):(i + 1) * len(parts)]))
         data[dataset] = runs
-        for part in ("hash", "bdg"):
+        for part in parts:
             r = runs[part]
             labels.append(f"{dataset} {part}")
             rows.append(
@@ -498,11 +564,17 @@ def fig11_bdg() -> ExperimentReport:
 def fig12_lsh() -> ExperimentReport:
     """LSH task priority queue En/Dis ablation (paper Figure 12)."""
     cases = [("gm", "orkut-s"), ("gm", "friendster-s"), ("mcf", "orkut-s"), ("mcf", "friendster-s")]
+    results = _run_cells(
+        [
+            _cell(app, dataset, enable_lsh=enabled)
+            for app, dataset in cases
+            for enabled in (True, False)
+        ]
+    )
     rows, labels = [], []
     data = {}
-    for app, dataset in cases:
-        en = run_gminer(app, dataset, enable_lsh=True)
-        dis = run_gminer(app, dataset, enable_lsh=False)
+    for i, (app, dataset) in enumerate(cases):
+        en, dis = results[2 * i], results[2 * i + 1]
         key = f"{app}-{dataset}"
         data[key] = {"en": en, "dis": dis}
         labels.append(key)
@@ -547,11 +619,17 @@ def fig13_stealing() -> ExperimentReport:
         ("mcf", "orkut-s"), ("mcf", "friendster-s"),
         ("tc", "orkut-s"), ("tc", "friendster-s"),
     ]
+    results = _run_cells(
+        [
+            _cell(app, dataset, enable_stealing=enabled)
+            for app, dataset in cases
+            for enabled in (True, False)
+        ]
+    )
     rows, labels = [], []
     data = {}
-    for app, dataset in cases:
-        en = run_gminer(app, dataset, enable_stealing=True)
-        dis = run_gminer(app, dataset, enable_stealing=False)
+    for i, (app, dataset) in enumerate(cases):
+        en, dis = results[2 * i], results[2 * i + 1]
         key = f"{app}-{dataset}"
         data[key] = {"en": en, "dis": dis}
         labels.append(key)
@@ -592,21 +670,27 @@ def fig13_stealing() -> ExperimentReport:
 
 def ablation_cache() -> ExperimentReport:
     """RCV vs LRU vs FIFO vertex cache (paper §7 discussion)."""
+    cases = [
+        (app, dataset, policy)
+        for app, dataset in (("gm", "orkut-s"), ("mcf", "orkut-s"))
+        for policy in ("rcv", "lru", "fifo")
+    ]
+    results = _run_cells(
+        [_cell(app, dataset, cache_policy=policy) for app, dataset, policy in cases]
+    )
     rows, labels = [], []
     data = {}
-    for app, dataset in (("gm", "orkut-s"), ("mcf", "orkut-s")):
-        for policy in ("rcv", "lru", "fifo"):
-            r = run_gminer(app, dataset, cache_policy=policy)
-            key = f"{app} {policy}"
-            data[key] = r
-            labels.append(key)
-            rows.append(
-                [
-                    f"{r.total_seconds:.3f}",
-                    f"{r.stats['cache_hit_rate']:.2f}",
-                    f"{int(r.stats['re_pulls'])}",
-                ]
-            )
+    for (app, dataset, policy), r in zip(cases, results):
+        key = f"{app} {policy}"
+        data[key] = r
+        labels.append(key)
+        rows.append(
+            [
+                f"{r.total_seconds:.3f}",
+                f"{r.stats['cache_hit_rate']:.2f}",
+                f"{int(r.stats['re_pulls'])}",
+            ]
+        )
     rendered = render_table(
         "Ablation A: RCV cache vs LRU/FIFO (paper §7)",
         ["Time(s)", "Hit rate", "Re-pulls"],
@@ -636,12 +720,18 @@ def ablation_cache() -> ExperimentReport:
 
 def ablation_splitting() -> ExperimentReport:
     """Recursive task splitting extension (paper §9 future work)."""
+    settings = (False, True)
+    results = _run_cells(
+        [
+            _cell(
+                "gm", "orkut-s",
+                enable_splitting=enabled, split_candidate_threshold=64,
+            )
+            for enabled in settings
+        ]
+    )
     rows, labels, data = [], [], {}
-    for enabled in (False, True):
-        r = run_gminer(
-            "gm", "orkut-s",
-            enable_splitting=enabled, split_candidate_threshold=64,
-        )
+    for enabled, r in zip(settings, results):
         key = "split-on" if enabled else "split-off"
         data[key] = r
         labels.append(key)
@@ -676,12 +766,16 @@ def ablation_splitting() -> ExperimentReport:
 
 def ablation_fault_tolerance() -> ExperimentReport:
     """Checkpoint overhead and failure recovery (paper §7)."""
-    baseline = run_gminer("mcf", "orkut-s")
-    with_ckpt = run_gminer("mcf", "orkut-s", checkpoint_interval=0.1)
     plan = FailurePlan().kill(node_id=3, at_time=0.3, recovery_delay=0.05)
-    with_failure = run_gminer(
-        "mcf", "orkut-s", checkpoint_interval=0.1, failure_plan=plan,
-        time_limit=60.0,
+    baseline, with_ckpt, with_failure = _run_cells(
+        [
+            _cell("mcf", "orkut-s"),
+            _cell("mcf", "orkut-s", checkpoint_interval=0.1),
+            _cell(
+                "mcf", "orkut-s", checkpoint_interval=0.1, failure_plan=plan,
+                time_limit=60.0,
+            ),
+        ]
     )
     rows = [
         [f"{baseline.total_seconds:.3f}", str(len(baseline.value)), "0"],
@@ -715,9 +809,15 @@ def ablation_fault_tolerance() -> ExperimentReport:
 
 def ablation_multiprocess() -> ExperimentReport:
     """Shared process cache vs per-process split caches (paper §5.1)."""
+    process_counts = (1, 2, 4)
+    results = _run_cells(
+        [
+            _cell("mcf", "orkut-s", processes_per_node=processes)
+            for processes in process_counts
+        ]
+    )
     rows, labels, data = [], [], {}
-    for processes in (1, 2, 4):
-        r = run_gminer("mcf", "orkut-s", processes_per_node=processes)
+    for processes, r in zip(process_counts, results):
         key = f"{processes} process(es)"
         data[key] = r
         labels.append(key)

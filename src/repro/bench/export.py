@@ -1,78 +1,41 @@
 """Exporting job results and experiment reports as JSON.
 
-Benchmark pipelines want machine-readable artefacts next to the
-rendered tables; :func:`job_result_to_dict` flattens a
-:class:`~repro.core.job.JobResult` (dropping the non-serialisable
-timeline/trace objects but keeping their summaries) and
-:func:`save_json` writes any such record.
+Serialisation now lives on the result types themselves —
+:meth:`repro.core.job.JobResult.to_dict` and
+:meth:`repro.bench.report.ExperimentReport.to_dict` — so results
+round-trip without importing this module.  The functions here are kept
+as thin shims for existing pipelines (:func:`job_result_to_dict` warns)
+plus :func:`save_json`, the one piece that is genuinely about files.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Optional
+import warnings
+from typing import Any, Dict
 
 from repro.bench.report import ExperimentReport
-from repro.core.job import JobResult
+from repro.core.job import JobResult, jsonable
+
+#: Deprecated alias of :func:`repro.core.job.jsonable`.
+_jsonable = jsonable
 
 
 def job_result_to_dict(result: JobResult, bins: int = 20) -> Dict[str, Any]:
-    """Flatten a job result into JSON-serialisable primitives."""
-    out: Dict[str, Any] = {
-        "status": result.status.value,
-        "app": result.app_name,
-        "setup_seconds": result.setup_seconds,
-        "partition_seconds": result.partition_seconds,
-        "mining_seconds": result.mining_seconds,
-        "total_seconds": result.total_seconds,
-        "cpu_utilization": result.cpu_utilization,
-        "peak_memory_bytes": result.peak_memory_bytes,
-        "network_bytes": result.network_bytes,
-        "disk_bytes": result.disk_bytes,
-        "num_results": result.num_results,
-        "stats": dict(result.stats),
-    }
-    out["value"] = _jsonable(result.value)
-    out["aggregated"] = _jsonable(result.aggregated)
-    if result.timeline is not None and result.mining_window[1] > result.mining_window[0]:
-        times, series = result.utilization_series(bins=bins)
-        out["utilization"] = {"times": times, **series}
-    if result.trace is not None:
-        out["trace_summary"] = result.trace.summary()
-    return out
-
-
-def _jsonable(value: Any) -> Any:
-    """Best-effort conversion of mining results to JSON primitives."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [_jsonable(v) for v in value]
-    return repr(value)
+    """Deprecated: use :meth:`JobResult.to_dict` instead."""
+    warnings.warn(
+        "job_result_to_dict() is deprecated; use JobResult.to_dict() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return result.to_dict(bins=bins)
 
 
 def experiment_report_to_dict(report: ExperimentReport) -> Dict[str, Any]:
-    """Flatten an experiment report (nested JobResults included)."""
-    def convert(value: Any) -> Any:
-        if isinstance(value, JobResult):
-            return job_result_to_dict(value)
-        if isinstance(value, dict):
-            return {str(k): convert(v) for k, v in value.items()}
-        if isinstance(value, (list, tuple)):
-            return [convert(v) for v in value]
-        return _jsonable(value)
-
-    return {
-        "experiment_id": report.experiment_id,
-        "title": report.title,
-        "rendered": report.rendered,
-        "checks": list(report.checks),
-        "notes": list(report.notes),
-        "data": convert(report.data),
-    }
+    """Flatten an experiment report (delegates to
+    :meth:`ExperimentReport.to_dict`)."""
+    return report.to_dict()
 
 
 def save_json(record: Dict[str, Any], path: str) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.job import JobResult, JobStatus
+from repro.core.job import JobResult, JobStatus, jsonable
 
 
 def format_cell(result: Optional[JobResult], metric: str = "time") -> str:
@@ -85,7 +85,13 @@ def render_series(
 
 @dataclass
 class ExperimentReport:
-    """Structured outcome of one table/figure reproduction."""
+    """Structured outcome of one table/figure reproduction.
+
+    ``footer`` carries host-level accounting (per-cell wall clock,
+    build-cache hits, worker count) attached by the CLI; it is
+    deliberately *not* part of ``data``, which stays byte-identical
+    across serial and parallel runs.
+    """
 
     experiment_id: str
     title: str
@@ -93,23 +99,53 @@ class ExperimentReport:
     data: Dict[str, Any] = field(default_factory=dict)
     checks: List[str] = field(default_factory=list)  # shape assertions that held
     notes: List[str] = field(default_factory=list)  # documented deviations
+    footer: Optional[str] = None  # host-level accounting (not in data)
 
-    def __str__(self) -> str:
+    def render(self, with_footer: bool = True) -> str:
         parts = [f"== {self.experiment_id}: {self.title} ==", self.rendered]
         if self.checks:
             parts.append("shape checks: " + "; ".join(self.checks))
         if self.notes:
             parts.append("notes: " + "; ".join(self.notes))
+        if with_footer and self.footer:
+            parts.append(self.footer)
         return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to JSON-serialisable primitives (nested JobResults
+        via :meth:`JobResult.to_dict`); round-trips without the export
+        module."""
+        def convert(value: Any) -> Any:
+            if isinstance(value, JobResult):
+                return value.to_dict()
+            if isinstance(value, dict):
+                return {str(k): convert(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [convert(v) for v in value]
+            return jsonable(value)
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rendered": self.rendered,
+            "checks": list(self.checks),
+            "notes": list(self.notes),
+            "data": convert(self.data),
+        }
 
     def save(self, directory: str = "results") -> str:
         """Persist the rendered report (EXPERIMENTS.md is assembled
-        from these files).  Returns the path written."""
+        from these files).  The footer is omitted — archived artifacts
+        stay byte-identical whatever the worker count or cache state.
+        Returns the path written."""
         import os
 
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.experiment_id}.txt")
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(str(self))
+            fh.write(self.render(with_footer=False))
             fh.write("\n")
         return path

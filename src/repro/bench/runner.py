@@ -3,12 +3,20 @@
 Centralises the scaled experiment defaults (cluster shape, time limit)
 and knows how to run every workload on every system so the per-
 table/figure experiment functions stay declarative.
+
+The one public entrypoint is :func:`run` — keyword-only, built on
+:class:`repro.parallel.RunRequest`, the same unit the parallel engine
+ships to pool workers.  :func:`execute_request` is the single place a
+cell actually executes, whether called inline, by the ambient
+:class:`~repro.parallel.ParallelRunner`, or inside a child process.
+The legacy ``run_system``/``run_gminer`` pair still works but emits
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, List, Optional, Sequence, Union
 
 from repro.apps import (
     CommunityDetectionApp,
@@ -27,10 +35,11 @@ from repro.baselines import (
 from repro.baselines.common import UnsupportedWorkload
 from repro.core import GMinerConfig, GMinerJob
 from repro.core.api import GMinerApp
-from repro.core.job import JobResult, JobStatus
+from repro.core.job import JobResult
 from repro.graph.datasets import BuiltDataset, load_dataset
 from repro.mining.clustering import FocusParams
 from repro.mining.community import CommunityParams
+from repro.parallel import ParallelRunner, RunRequest, USE_DEFAULT
 from repro.sim.cluster import ClusterSpec
 from repro.sim.failures import FailurePlan
 
@@ -45,7 +54,7 @@ EXPERIMENT_SPEC = ClusterSpec(num_nodes=15, cores_per_node=4)
 #: scaled run.
 DEFAULT_TIME_LIMIT = 10.0
 
-#: Systems usable via :func:`run_system`.
+#: Systems usable via :func:`run`.
 SYSTEMS = ("single-thread", "arabesque", "giraph", "graphx", "gthinker", "gminer")
 
 #: GC parameters for benches; kept small enough that the convergent
@@ -105,6 +114,129 @@ def build_app(app: str, dataset: BuiltDataset) -> GMinerApp:
     raise ValueError(f"unknown app {app!r}")
 
 
+# ----------------------------------------------------------------------
+# Cell execution — the one place a (system, workload, dataset, config)
+# cell turns into a JobResult.
+# ----------------------------------------------------------------------
+
+
+def _resolve_time_limit(value: Union[float, None, str]) -> Optional[float]:
+    return DEFAULT_TIME_LIMIT if value == USE_DEFAULT else value
+
+
+def _execute_gminer(request: RunRequest) -> JobResult:
+    dataset = prepare_dataset(request.dataset, request.workload)
+    gminer_app = build_app(request.workload, dataset)
+    config = request.config
+    if config is None:
+        config = GMinerConfig(
+            cluster=request.spec or EXPERIMENT_SPEC,
+            time_limit=_resolve_time_limit(request.time_limit),
+        )
+    overrides = request.overrides_dict()
+    if overrides:
+        config = config.replace(**overrides)
+    job = GMinerJob(
+        gminer_app, dataset.graph, config, failure_plan=request.failure_plan
+    )
+    return job.run()
+
+
+def execute_request(request: RunRequest) -> Optional[JobResult]:
+    """Execute one cell; ``None`` when the system's model cannot
+    express the workload (the paper's empty cells)."""
+    system = request.system
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+    if system == "gminer":
+        return _execute_gminer(request)
+    spec = request.spec or EXPERIMENT_SPEC
+    time_limit = _resolve_time_limit(request.time_limit)
+    dataset = prepare_dataset(request.dataset, request.workload)
+    graph = dataset.graph
+    try:
+        if system == "single-thread":
+            runner = SingleThreadSystem(time_limit=None)
+            exemplars = gc_exemplars(dataset) if request.workload == "gc" else ()
+            return runner.run(request.workload, graph, exemplars=exemplars)
+        if system == "gthinker":
+            gminer_app = build_app(request.workload, dataset)
+            return BatchSubgraphSystem(spec, time_limit=time_limit).run_app(
+                gminer_app, graph
+            )
+        if system == "arabesque":
+            return EmbeddingExploreSystem(spec, time_limit=time_limit).run(
+                request.workload, graph
+            )
+        # giraph / graphx
+        return VertexCentricSystem(system, spec, time_limit=time_limit).run(
+            request.workload, graph
+        )
+    except UnsupportedWorkload:
+        return None
+
+
+# ----------------------------------------------------------------------
+# The public entrypoint
+# ----------------------------------------------------------------------
+
+
+def run(
+    *,
+    system: str = "gminer",
+    workload: str,
+    dataset: str,
+    spec: Optional[ClusterSpec] = None,
+    config: Optional[GMinerConfig] = None,
+    time_limit: Union[float, None, str] = USE_DEFAULT,
+    failure_plan: Optional[FailurePlan] = None,
+    workers: int = 1,
+    **overrides: Any,
+) -> Optional[JobResult]:
+    """Run one workload on one system with experiment defaults.
+
+    Keyword-only.  ``system`` is any of :data:`SYSTEMS`; ``workload``
+    one of ``tc``/``mcf``/``gm``/``gl``/``cd``/``gc``; extra keyword
+    arguments override :class:`GMinerConfig` fields (G-Miner runs
+    only).  Returns ``None`` when the system's model cannot express the
+    workload.  ``workers`` > 1 executes the cell through a
+    :class:`~repro.parallel.ParallelRunner` (useful mostly via
+    :func:`run_many`, where several cells share the pool).
+    """
+    request = RunRequest.make(
+        workload,
+        dataset,
+        system,
+        spec=spec,
+        config=config,
+        time_limit=time_limit,
+        failure_plan=failure_plan,
+        **overrides,
+    )
+    if workers == 1:
+        return execute_request(request)
+    return ParallelRunner(workers=workers).map([request])[0]
+
+
+def run_many(
+    requests: Sequence[RunRequest],
+    *,
+    workers: int = 1,
+    cache=None,
+) -> List[Optional[JobResult]]:
+    """Execute a batch of cells, results in request order.
+
+    ``workers`` > 1 fans the batch out over a process pool; results are
+    byte-identical to the serial order either way.
+    """
+    return ParallelRunner(workers=workers, cache=cache).map(requests)
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims (the pre-`run()` API)
+# ----------------------------------------------------------------------
+
+
 def run_gminer(
     app: str,
     dataset_name: str,
@@ -114,17 +246,23 @@ def run_gminer(
     failure_plan: Optional[FailurePlan] = None,
     **config_overrides,
 ) -> JobResult:
-    """Run a workload on G-Miner with experiment defaults."""
-    dataset = prepare_dataset(dataset_name, app)
-    gminer_app = build_app(app, dataset)
-    if config is None:
-        config = GMinerConfig(
-            cluster=spec or EXPERIMENT_SPEC, time_limit=time_limit
-        )
-    if config_overrides:
-        config = config.replace(**config_overrides)
-    job = GMinerJob(gminer_app, dataset.graph, config, failure_plan=failure_plan)
-    return job.run()
+    """Deprecated: use ``run(system="gminer", workload=..., dataset=...)``."""
+    warnings.warn(
+        "run_gminer() is deprecated; use repro.bench.run(system='gminer', "
+        "workload=..., dataset=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(
+        system="gminer",
+        workload=app,
+        dataset=dataset_name,
+        spec=spec,
+        config=config,
+        time_limit=time_limit,
+        failure_plan=failure_plan,
+        **config_overrides,
+    )
 
 
 def run_system(
@@ -135,32 +273,18 @@ def run_system(
     time_limit: Optional[float] = DEFAULT_TIME_LIMIT,
     **gminer_overrides,
 ) -> Optional[JobResult]:
-    """Run a workload on any system; ``None`` when the system's model
-    cannot express the workload (the paper's empty cells)."""
-    spec = spec or EXPERIMENT_SPEC
-    dataset = prepare_dataset(dataset_name, app)
-    graph = dataset.graph
-    try:
-        if system == "gminer":
-            return run_gminer(
-                app, dataset_name, spec=spec, time_limit=time_limit,
-                **gminer_overrides,
-            )
-        if system == "single-thread":
-            runner = SingleThreadSystem(time_limit=None)
-            exemplars = gc_exemplars(dataset) if app == "gc" else ()
-            return runner.run(app, graph, exemplars=exemplars)
-        if system == "gthinker":
-            gminer_app = build_app(app, dataset)
-            return BatchSubgraphSystem(spec, time_limit=time_limit).run_app(
-                gminer_app, graph
-            )
-        if system == "arabesque":
-            return EmbeddingExploreSystem(spec, time_limit=time_limit).run(app, graph)
-        if system in ("giraph", "graphx"):
-            return VertexCentricSystem(system, spec, time_limit=time_limit).run(
-                app, graph
-            )
-    except UnsupportedWorkload:
-        return None
-    raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+    """Deprecated: use ``run(system=..., workload=..., dataset=...)``."""
+    warnings.warn(
+        "run_system() is deprecated; use repro.bench.run(system=..., "
+        "workload=..., dataset=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(
+        system=system,
+        workload=app,
+        dataset=dataset_name,
+        spec=spec,
+        time_limit=time_limit,
+        **gminer_overrides,
+    )

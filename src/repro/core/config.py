@@ -15,9 +15,14 @@ from typing import Optional
 from repro.sim.cluster import ClusterSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class GMinerConfig:
-    """Configuration for a G-Miner job."""
+    """Configuration for a G-Miner job.
+
+    Fields are keyword-only and validated eagerly in ``__post_init__``
+    — a bad knob fails at construction with an actionable message
+    instead of deep inside the job.
+    """
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
 
@@ -83,15 +88,49 @@ class GMinerConfig:
     # -- misc -------------------------------------------------------------------
     seed_scan_cost: float = 2.0  # work units per vertex scanned by task generator
 
+    def __post_init__(self) -> None:
+        # Fail fast: a typo'd knob should surface here, at construction,
+        # not minutes later inside a worker loop.
+        self.validate()
+
     def replace(self, **kwargs) -> "GMinerConfig":
         """Return a copy with the given fields overridden."""
+        unknown = [k for k in kwargs if k not in self.__dataclass_fields__]
+        if unknown:
+            raise ValueError(
+                f"unknown GMinerConfig field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(self.__dataclass_fields__)}"
+            )
         return replace(self, **kwargs)
 
     def validate(self) -> None:
+        """Check every knob; raise ``ValueError`` with a fix hint.
+
+        Also called from ``__post_init__``, so any constructed config is
+        already valid; kept public for callers that mutate copies via
+        ``dataclasses.replace`` directly.
+        """
         if self.partitioner not in ("bdg", "hash"):
-            raise ValueError(f"unknown partitioner {self.partitioner!r}")
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}: expected 'bdg' "
+                "(locality-preserving blocks, the paper's default) or 'hash'"
+            )
         if self.cache_policy not in ("rcv", "lru", "fifo"):
-            raise ValueError(f"unknown cache policy {self.cache_policy!r}")
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}: expected 'rcv' "
+                "(reference-counting, the paper's default), 'lru' or 'fifo'"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be a positive number of simulated "
+                f"seconds, or None to disable checkpointing; got "
+                f"{self.checkpoint_interval!r}"
+            )
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError(
+                f"time_limit must be a positive number of simulated seconds, "
+                f"or None for no limit; got {self.time_limit!r}"
+            )
         if self.store_block_tasks < 1:
             raise ValueError("store_block_tasks must be >= 1")
         if self.max_inflight_tasks < 1:

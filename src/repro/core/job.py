@@ -140,6 +140,48 @@ class JobResult:
         start, end = self.mining_window
         return self.timeline.sample(end, bins=bins, start=start)
 
+    def to_dict(self, bins: int = 20) -> Dict[str, Any]:
+        """Flatten to JSON-serialisable primitives.
+
+        Drops the non-serialisable timeline/trace objects but keeps
+        their summaries (a sampled utilisation series, the trace
+        summary).  This is the canonical serialisation;
+        ``repro.bench.export`` delegates here.
+        """
+        out: Dict[str, Any] = {
+            "status": self.status.value,
+            "app": self.app_name,
+            "setup_seconds": self.setup_seconds,
+            "partition_seconds": self.partition_seconds,
+            "mining_seconds": self.mining_seconds,
+            "total_seconds": self.total_seconds,
+            "cpu_utilization": self.cpu_utilization,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "network_bytes": self.network_bytes,
+            "disk_bytes": self.disk_bytes,
+            "num_results": self.num_results,
+            "stats": dict(self.stats),
+        }
+        out["value"] = jsonable(self.value)
+        out["aggregated"] = jsonable(self.aggregated)
+        if self.timeline is not None and self.mining_window[1] > self.mining_window[0]:
+            times, series = self.utilization_series(bins=bins)
+            out["utilization"] = {"times": times, **series}
+        if self.trace is not None:
+            out["trace_summary"] = self.trace.summary()
+        return out
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of mining results to JSON primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
 
 class GMinerJob:
     """Configure and execute one G-Miner job."""
@@ -168,7 +210,24 @@ class GMinerJob:
             partitioner = BDGPartitioner()
         else:
             partitioner = HashPartitioner()
-        return partitioner.partition(self.graph, num_workers)
+        # Partitioning is a pure function of (graph, algorithm, k);
+        # when a build cache is active, repeated cells — and repeated
+        # bench invocations, via the disk level — reuse the assignment.
+        from repro.parallel.cache import get_build_cache
+
+        cache = get_build_cache()
+        if cache is None:
+            return partitioner.partition(self.graph, num_workers)
+        params = dict(
+            partitioner.cache_params(),
+            num_workers=num_workers,
+            graph=self.graph.fingerprint(),
+        )
+        return cache.lookup(
+            "partition",
+            params,
+            lambda: partitioner.partition(self.graph, num_workers),
+        )
 
     def _setup_costs(self, assignment: PartitionAssignment, cluster: Cluster) -> Tuple[float, float]:
         """(hdfs load + shuffle seconds, partitioning seconds)."""

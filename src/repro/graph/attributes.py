@@ -92,9 +92,11 @@ def weighted_similarity(
     dampens coincidental low-weight matches.
     """
     sa, sb = set(a), set(b)
-    shared = sa & sb
-    score = sum(weights.get(attr, 0.0) for attr in shared)
-    norm = sum(weights.get(attr, default_weight) for attr in sa | sb)
+    # Sum in sorted order: set iteration order depends on which operand
+    # came first, and float addition is not associative, so unsorted
+    # sums would make similarity very slightly asymmetric.
+    score = sum(weights.get(attr, 0.0) for attr in sorted(sa & sb))
+    norm = sum(weights.get(attr, default_weight) for attr in sorted(sa | sb))
     if norm == 0.0:
         return 0.0
     return score / norm

@@ -164,6 +164,26 @@ _CACHE: Dict[str, BuiltDataset] = {}
 SCALED_LABEL_ALPHABET = tuple("abcdefghijklmnop")
 
 
+def _builder_params(name: str) -> Dict[str, str]:
+    """Build-cache key components for a dataset: its name plus a
+    fingerprint of the builder's source, so editing a generator (or its
+    seeds) invalidates persisted entries."""
+    from repro.parallel.cache import source_fingerprint
+
+    return {"name": name, "builder": source_fingerprint(DATASETS[name].builder)}
+
+
+def _build_base(name: str) -> BuiltDataset:
+    """Run a registry builder, through the active build cache if any."""
+    from repro.parallel.cache import get_build_cache
+
+    info = DATASETS[name]
+    cache = get_build_cache()
+    if cache is None:
+        return info.builder()
+    return cache.lookup("dataset", _builder_params(name), info.builder)
+
+
 def load_dataset(
     name: str,
     labeled: bool = False,
@@ -179,25 +199,47 @@ def load_dataset(
     assigns synthetic 5-dimension attribute lists as in footnote 7
     (for CD/GC on non-attributed graphs).  Both return copies so the
     cached base graph is never mutated.
+
+    Builds go through the active :class:`~repro.parallel.BuildCache`
+    when one is installed (see ``--workers``/``--no-cache`` on the
+    bench CLI), keyed on the builder source and decoration seeds so
+    repeated invocations skip graph generation.
     """
     if name not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
     if name not in _CACHE:
-        _CACHE[name] = DATASETS[name].builder()
+        _CACHE[name] = _build_base(name)
     base = _CACHE[name]
     if not labeled and not attributed:
         return base
-    graph = base.graph.subgraph(base.graph.vertices())  # deep-enough copy
-    if labeled and not graph.is_labeled:
-        random_labels(graph, alphabet=SCALED_LABEL_ALPHABET, seed=label_seed)
-    if attributed and not graph.is_attributed:
-        random_attributes(graph, seed=attribute_seed)
-    return BuiltDataset(
-        name=base.name,
-        graph=graph,
-        community_map=base.community_map,
-        attribute_space=base.attribute_space or (AttributeSpace() if attributed else None),
+
+    def decorate() -> BuiltDataset:
+        graph = base.graph.subgraph(base.graph.vertices())  # deep-enough copy
+        if labeled and not graph.is_labeled:
+            random_labels(graph, alphabet=SCALED_LABEL_ALPHABET, seed=label_seed)
+        if attributed and not graph.is_attributed:
+            random_attributes(graph, seed=attribute_seed)
+        return BuiltDataset(
+            name=base.name,
+            graph=graph,
+            community_map=base.community_map,
+            attribute_space=base.attribute_space
+            or (AttributeSpace() if attributed else None),
+        )
+
+    from repro.parallel.cache import get_build_cache
+
+    cache = get_build_cache()
+    if cache is None:
+        return decorate()
+    params = dict(
+        _builder_params(name),
+        labeled=labeled,
+        attributed=attributed,
+        label_seed=label_seed,
+        attribute_seed=attribute_seed,
     )
+    return cache.lookup("dataset-decorated", params, decorate)
 
 
 def clear_dataset_cache() -> None:

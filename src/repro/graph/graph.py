@@ -203,6 +203,29 @@ class Graph:
         """Serialised size estimate of the whole graph in bytes."""
         return sum(self.vertex_data(v).estimate_size() for v in self._adj)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the full graph state.
+
+        Covers adjacency, labels and attributes, so any two graphs with
+        the same fingerprint produce identical partition assignments
+        and mining results; used as a build-cache key component.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for v in sorted(self._adj):
+            h.update(str(v).encode())
+            h.update(b"|")
+            h.update(",".join(map(str, self._adj[v])).encode())
+            label = self._labels.get(v)
+            if label is not None:
+                h.update(b"L" + str(label).encode())
+            attrs = self._attrs.get(v)
+            if attrs:
+                h.update(b"A" + ",".join(map(str, attrs)).encode())
+            h.update(b"\n")
+        return h.hexdigest()[:24]
+
     # -- transformations -----------------------------------------------
 
     def subgraph(self, vertex_ids: Iterable[int]) -> "Graph":

@@ -1,0 +1,53 @@
+"""Host-level parallel experiment engine.
+
+The simulated cluster inside one job is deterministic and
+single-threaded, but the *experiment grid* above it — every
+``(system, workload, dataset, config)`` cell of every table and figure
+— is embarrassingly parallel.  This package fans those cells out over
+a process pool (:class:`ParallelRunner`), with deterministic result
+ordering so parallel reports are byte-identical to serial ones, and
+memoises the expensive shared builds (generated datasets, partition
+assignments) in a content-keyed, disk-persisted :class:`BuildCache`.
+
+See ``python -m repro.bench run <experiment> --workers N``.
+"""
+
+from repro.parallel.cache import (
+    DEFAULT_CACHE_DIR,
+    BuildCache,
+    content_key,
+    get_build_cache,
+    set_build_cache,
+    source_fingerprint,
+)
+from repro.parallel.request import (
+    USE_DEFAULT,
+    CellOutcome,
+    RunRequest,
+    execute_request,
+    execute_request_timed,
+)
+from repro.parallel.executor import (
+    ParallelRunner,
+    current_runner,
+    default_workers,
+    parallel_context,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "USE_DEFAULT",
+    "BuildCache",
+    "CellOutcome",
+    "ParallelRunner",
+    "RunRequest",
+    "content_key",
+    "current_runner",
+    "default_workers",
+    "execute_request",
+    "execute_request_timed",
+    "get_build_cache",
+    "parallel_context",
+    "set_build_cache",
+    "source_fingerprint",
+]

@@ -1,0 +1,171 @@
+"""Content-keyed build cache for expensive experiment inputs.
+
+Every experiment cell starts by materialising the same few inputs — a
+generated dataset (``repro.graph.datasets.load_dataset``) and a
+partition assignment (BDG or hash) — and a full bench invocation
+repeats those builds dozens of times.  :class:`BuildCache` memoises
+them under a *content key*: a hash of every parameter that can change
+the built value (dataset name, decoration seeds, a fingerprint of the
+builder's source, the graph fingerprint for partitions).  Entries live
+in an in-process dict and, when persistence is on, as pickle files
+under ``.repro-cache/`` so repeated invocations skip graph generation
+entirely.
+
+The cache is *correctness-neutral*: builders are deterministic, so a
+hit returns exactly what a rebuild would.  Editing a generator (or its
+seeds) changes the source fingerprint and invalidates the entry.
+
+A module-global "active" cache is what the rest of the system consults
+(:func:`get_build_cache`); ``repro.graph.datasets`` and
+``repro.core.job`` look it up lazily so nothing changes when no cache
+is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+from typing import Any, Callable, Dict, Optional
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate every persisted entry (e.g. when the pickle
+#: layout of cached values changes incompatibly).
+CACHE_FORMAT_VERSION = 1
+
+
+def content_key(kind: str, params: Dict[str, Any]) -> str:
+    """Stable hex digest of a parameter dict (the cache key)."""
+    payload = json.dumps(
+        {"kind": kind, "v": CACHE_FORMAT_VERSION, "params": params},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def source_fingerprint(obj: Any) -> str:
+    """Hash of an object's source code (falls back to its repr).
+
+    Used to key cached values on the *code* that built them, so editing
+    a generator or partitioner invalidates its entries.
+    """
+    try:
+        text = inspect.getsource(obj)
+    except (OSError, TypeError):
+        text = repr(obj)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class BuildCache:
+    """Two-level (memory + disk) cache of deterministic build outputs.
+
+    ``persist=False`` keeps the cache purely in-process (no
+    ``.repro-cache/`` directory is created).  Hit/miss counters power
+    the report footers; ``disk_hits`` counts the subset of hits served
+    from a previous invocation's persisted entry.
+    """
+
+    def __init__(
+        self,
+        directory: str = DEFAULT_CACHE_DIR,
+        persist: bool = True,
+    ) -> None:
+        self.directory = directory
+        self.persist = persist
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters as a plain dict (report footers, tests)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+        }
+
+    # -- core ----------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.directory, f"{kind}-{key}.pkl")
+
+    def lookup(self, kind: str, params: Dict[str, Any], build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``(kind, params)``, building on miss."""
+        key = content_key(kind, params)
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.persist:
+            path = self._path(kind, key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as fh:
+                        value = pickle.load(fh)
+                except Exception:
+                    pass  # corrupt/stale entry: fall through and rebuild
+                else:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._memory[key] = value
+                    return value
+        self.misses += 1
+        value = build()
+        self._memory[key] = value
+        if self.persist:
+            self._write(kind, key, value)
+        return value
+
+    def _write(self, kind: str, key: str, value: Any) -> None:
+        """Persist one entry; atomic so concurrent workers never read a
+        half-written pickle (os.replace is atomic on POSIX)."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            path = self._path(kind, key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # persistence is best-effort; the value is still returned
+
+    def clear_memory(self) -> None:
+        """Drop the in-process level (disk entries survive)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"BuildCache(dir={self.directory!r}, persist={self.persist}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The active cache: what load_dataset / GMinerJob consult.
+# ----------------------------------------------------------------------
+
+_active: Optional[BuildCache] = None
+
+
+def set_build_cache(cache: Optional[BuildCache]) -> Optional[BuildCache]:
+    """Install ``cache`` as the process-wide active build cache.
+
+    Returns the previously active cache so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
+def get_build_cache() -> Optional[BuildCache]:
+    """The process-wide active build cache, or None when caching is off."""
+    return _active

@@ -1,0 +1,202 @@
+"""Process-pool fan-out of independent experiment cells.
+
+:class:`ParallelRunner` maps a list of :class:`RunRequest` cells over a
+``concurrent.futures.ProcessPoolExecutor``.  Because every cell is a
+pure function of its request (the cluster is a deterministic
+simulation), results are collected back **in request order**, making a
+``workers=N`` run byte-identical to the serial one — the pool changes
+wall-clock time, never results.
+
+The ambient context (:func:`parallel_context` / :func:`current_runner`)
+lets deep call sites — the per-table experiment functions — fan out
+through whatever runner the CLI installed, without threading a
+``workers=`` parameter through every signature.  With no context
+installed, :func:`current_runner` returns a serial runner, so library
+users and the test suite see unchanged behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.parallel.cache import BuildCache, get_build_cache, set_build_cache
+from repro.parallel.request import CellOutcome, RunRequest, execute_request_timed
+
+
+def default_workers() -> int:
+    """The default pool size: every core the host has."""
+    return os.cpu_count() or 1
+
+
+def _pool_init(cache_dir: Optional[str], persist: bool) -> None:
+    """Pool-worker initializer: give each child its own build cache.
+
+    Children share the *disk* level of the cache (same directory), so a
+    dataset built by one worker is a disk hit for every other worker
+    and for later invocations; the memory level is per-process.
+    """
+    if cache_dir is None:
+        set_build_cache(None)
+    else:
+        set_build_cache(BuildCache(directory=cache_dir, persist=persist))
+
+
+class ParallelRunner:
+    """Fan independent experiment cells out over a process pool.
+
+    ``workers=1`` (or a single-cell batch) executes inline in this
+    process — no pool, no pickling — which keeps small runs and the
+    test suite fast.  ``cache=None`` leaves whatever build cache is
+    already active untouched (and gives pool children none).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[BuildCache] = None,
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else default_workers())
+        self.cache = cache
+        #: Accounting for every cell this runner has executed, in
+        #: execution-batch order (report footers read this).
+        self.outcomes: List[CellOutcome] = []
+        # Cache accounting baseline: serial cells and non-cell builds
+        # (e.g. Table 2's dataset table) hit the parent-process cache
+        # directly, so totals are its delta since construction plus the
+        # deltas pool children shipped back in their outcomes.
+        self._pool_hits = 0
+        self._pool_misses = 0
+        parent = cache if cache is not None else get_build_cache()
+        self._cache_baseline = (
+            (parent.hits, parent.misses) if parent is not None else (0, 0)
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def map(self, requests: Sequence[RunRequest]) -> List[Any]:
+        """Execute every cell; results in request order (None allowed)."""
+        requests = list(requests)
+        if not requests:
+            return []
+        if self.workers == 1 or len(requests) == 1:
+            outcomes = self._map_serial(requests)
+        else:
+            outcomes = self._map_pool(requests)
+        self.outcomes.extend(outcomes)
+        return [outcome.result for outcome in outcomes]
+
+    def _map_serial(self, requests: List[RunRequest]) -> List[CellOutcome]:
+        if self.cache is not None:
+            previous = set_build_cache(self.cache)
+            try:
+                return [execute_request_timed(r) for r in requests]
+            finally:
+                set_build_cache(previous)
+        return [execute_request_timed(r) for r in requests]
+
+    def _map_pool(self, requests: List[RunRequest]) -> List[CellOutcome]:
+        cache_dir = self.cache.directory if self.cache is not None else None
+        persist = self.cache.persist if self.cache is not None else False
+        outcomes: List[Optional[CellOutcome]] = [None] * len(requests)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(requests)),
+            initializer=_pool_init,
+            initargs=(cache_dir, persist),
+        ) as pool:
+            pending = {
+                pool.submit(execute_request_timed, request): index
+                for index, request in enumerate(requests)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    outcomes[pending.pop(future)] = outcome
+                    self._pool_hits += outcome.cache_hits
+                    self._pool_misses += outcome.cache_misses
+        return outcomes  # type: ignore[return-value]
+
+    # -- accounting ----------------------------------------------------
+
+    def reset_outcomes(self) -> None:
+        self.outcomes.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Total build-cache hits/misses attributable to this runner:
+        the parent cache's delta since construction (serial cells, plus
+        builds outside any cell) plus pool children's shipped deltas."""
+        parent = self.cache if self.cache is not None else get_build_cache()
+        base_hits, base_misses = self._cache_baseline
+        parent_hits = parent.hits - base_hits if parent is not None else 0
+        parent_misses = parent.misses - base_misses if parent is not None else 0
+        return {
+            "hits": parent_hits + self._pool_hits,
+            "misses": parent_misses + self._pool_misses,
+        }
+
+    def footer_summary(self, per_cell: bool = True) -> Optional[str]:
+        """Human-readable host-level accounting for report footers.
+
+        Covers per-cell wall clock and build-cache hit counters; None
+        when this runner executed no cells (e.g. Table 2).
+        """
+        if not self.outcomes:
+            return None
+        total = sum(o.wall_seconds for o in self.outcomes)
+        slowest = max(self.outcomes, key=lambda o: o.wall_seconds)
+        stats = self.cache_stats()
+        hits, misses = stats["hits"], stats["misses"]
+        lines = [
+            f"host: {len(self.outcomes)} cells, {total:.2f}s cell wall-clock "
+            f"(slowest {slowest.label}: {slowest.wall_seconds:.2f}s), "
+            f"workers={self.workers}, build cache: {hits} hits / {misses} misses",
+        ]
+        if per_cell:
+            for outcome in self.outcomes:
+                lines.append(
+                    f"  {outcome.label}: {outcome.wall_seconds:.2f}s"
+                    f" (cache {outcome.cache_hits}h/{outcome.cache_misses}m)"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Ambient runner
+# ----------------------------------------------------------------------
+
+_current: Optional[ParallelRunner] = None
+
+
+def current_runner() -> ParallelRunner:
+    """The ambient runner, or a fresh serial one when none is installed."""
+    if _current is not None:
+        return _current
+    return ParallelRunner(workers=1, cache=None)
+
+
+@contextmanager
+def parallel_context(
+    workers: Optional[int] = None,
+    cache: Optional[BuildCache] = None,
+) -> Iterator[ParallelRunner]:
+    """Install a :class:`ParallelRunner` as the ambient runner.
+
+    Also installs ``cache`` (when given) as the process-wide build
+    cache so serial cells and non-cell builds (e.g. ``table2``'s
+    dataset table) share it.  Restores both on exit.
+    """
+    global _current
+    runner = ParallelRunner(workers=workers, cache=cache)
+    previous_runner = _current
+    previous_cache = get_build_cache()
+    _current = runner
+    if cache is not None:
+        set_build_cache(cache)
+    try:
+        yield runner
+    finally:
+        _current = previous_runner
+        set_build_cache(previous_cache)

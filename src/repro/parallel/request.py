@@ -1,0 +1,129 @@
+"""The unit of work the parallel engine ships between processes.
+
+A :class:`RunRequest` is a frozen, picklable description of one
+experiment cell: run ``workload`` on ``system`` over ``dataset`` with a
+given cluster shape, config and overrides.  Executing it is a pure
+function of its fields (the whole cluster is a deterministic
+simulation), which is what makes process-pool fan-out safe: any worker
+can execute any cell and produce byte-identical results.
+
+The execution logic itself lives in :mod:`repro.bench.runner`
+(:func:`repro.bench.runner.execute_request`); this module imports it
+lazily so the request type stays importable from child processes
+without dragging the whole bench stack into every import.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.config import GMinerConfig
+from repro.sim.cluster import ClusterSpec
+from repro.sim.failures import FailurePlan
+
+#: Sentinel meaning "use the bench default time limit"
+#: (:data:`repro.bench.runner.DEFAULT_TIME_LIMIT`).  A string rather
+#: than a module-level object() so requests pickle cleanly.
+USE_DEFAULT = "use-default"
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One experiment cell: ``(system, workload, dataset, config)``."""
+
+    workload: str
+    dataset: str
+    system: str = "gminer"
+    spec: Optional[ClusterSpec] = None
+    config: Optional[GMinerConfig] = None
+    time_limit: Union[float, None, str] = USE_DEFAULT
+    failure_plan: Optional[FailurePlan] = None
+    #: GMinerConfig field overrides, as a sorted tuple of pairs so the
+    #: request stays hashable and picklable.
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Display label for progress/footers; defaults to
+    #: ``system/workload/dataset``.
+    label: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        dataset: str,
+        system: str = "gminer",
+        *,
+        spec: Optional[ClusterSpec] = None,
+        config: Optional[GMinerConfig] = None,
+        time_limit: Union[float, None, str] = USE_DEFAULT,
+        failure_plan: Optional[FailurePlan] = None,
+        label: Optional[str] = None,
+        **overrides: Any,
+    ) -> "RunRequest":
+        """Build a request, folding keyword overrides into the tuple form."""
+        return cls(
+            workload=workload,
+            dataset=dataset,
+            system=system,
+            spec=spec,
+            config=config,
+            time_limit=time_limit,
+            failure_plan=failure_plan,
+            overrides=tuple(sorted(overrides.items())),
+            label=label,
+        )
+
+    @property
+    def display_label(self) -> str:
+        return self.label or f"{self.system}/{self.workload}/{self.dataset}"
+
+    def overrides_dict(self) -> Dict[str, Any]:
+        return dict(self.overrides)
+
+
+@dataclass
+class CellOutcome:
+    """What executing one cell produced, plus host-level accounting.
+
+    ``result`` is None when the system cannot express the workload (the
+    paper's empty cells).  ``cache_hits``/``cache_misses`` are the
+    build-cache deltas attributable to this cell in the process that
+    ran it.
+    """
+
+    label: str
+    result: Any = None
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def execute_request(request: RunRequest) -> Any:
+    """Execute one cell in this process (see repro.bench.runner)."""
+    from repro.bench.runner import execute_request as _execute
+
+    return _execute(request)
+
+
+def execute_request_timed(request: RunRequest) -> CellOutcome:
+    """Execute one cell, measuring wall clock and build-cache deltas.
+
+    This is the function :class:`~repro.parallel.executor.ParallelRunner`
+    submits to pool workers, so everything it returns must pickle.
+    """
+    from repro.parallel.cache import get_build_cache
+
+    cache = get_build_cache()
+    hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+    started = time.perf_counter()
+    result = execute_request(request)
+    wall = time.perf_counter() - started
+    hits1, misses1 = (cache.hits, cache.misses) if cache else (0, 0)
+    return CellOutcome(
+        label=request.display_label,
+        result=result,
+        wall_seconds=wall,
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+    )

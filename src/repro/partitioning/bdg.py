@@ -21,6 +21,7 @@ Two phases:
 from __future__ import annotations
 
 import random
+import sys
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -178,6 +179,20 @@ class BDGPartitioner:
         self.sources_per_round = sources_per_round
         self.seed = seed
         self.last_blocks: Optional[List[Block]] = None
+
+    def cache_params(self) -> Dict[str, object]:
+        """Build-cache key components: the algorithm name, every tunable
+        that changes the output, and a fingerprint of this module's
+        source so editing BDG itself invalidates persisted assignments."""
+        from repro.parallel.cache import source_fingerprint
+
+        return {
+            "partitioner": self.name,
+            "algorithm": source_fingerprint(sys.modules[__name__]),
+            "max_depth": self.max_depth,
+            "sources_per_round": self.sources_per_round,
+            "seed": self.seed,
+        }
 
     def partition(self, graph: Graph, num_partitions: int) -> PartitionAssignment:
         if num_partitions < 1:

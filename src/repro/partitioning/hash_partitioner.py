@@ -7,6 +7,9 @@ cluster, which is exactly the locality loss Figure 11 quantifies.
 
 from __future__ import annotations
 
+import sys
+from typing import Dict
+
 from repro.graph.graph import Graph
 from repro.partitioning.assignment import PartitionAssignment
 
@@ -32,6 +35,17 @@ class HashPartitioner:
     """Assign vertices by hashed ID modulo the worker count."""
 
     name = "hash"
+
+    def cache_params(self) -> Dict[str, object]:
+        """Build-cache key components for this algorithm: its name plus
+        a fingerprint of this module's source, so editing the hash mix
+        (or costs) invalidates persisted assignments."""
+        from repro.parallel.cache import source_fingerprint
+
+        return {
+            "partitioner": self.name,
+            "algorithm": source_fingerprint(sys.modules[__name__]),
+        }
 
     def partition(self, graph: Graph, num_partitions: int) -> PartitionAssignment:
         if num_partitions < 1:
