@@ -1,0 +1,159 @@
+"""Microbenchmarks for the set-operation kernel layer.
+
+Measures wall-clock of the vectorised triangle kernel under every
+available :mod:`repro.kernels` backend against a frozen copy of the
+historical per-probe implementation, on a ~50k-edge scale-free graph,
+plus raw intersection-throughput numbers per backend.  Every timed run
+is also checked for the work-unit-invariance contract: identical
+triangle count and identical work units as the frozen baseline.
+
+Run directly (``PYTHONPATH=src python benchmarks/kernels_bench.py``)
+or via ``benchmarks/test_kernels_micro.py``; both write
+``results/BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+from repro import kernels
+from repro.graph.generators import preferential_attachment_graph
+from repro.mining.cost import WorkMeter
+from repro.mining.triangles import triangle_count_sequential
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "results", "BENCH_kernels.json"
+)
+
+#: ~50k edges at dense-social-network degree (average ~100, the
+#: regime TC's intersections actually stress): 1k vertices attaching
+#: 50 edges each.
+GRAPH_N = 1_000
+GRAPH_M = 50
+GRAPH_SEED = 7
+
+
+def seed_triangles_for_seed(
+    seed: int,
+    seed_neighbors: Sequence[int],
+    neighbor_adjacency: Mapping[int, Iterable[int]],
+    meter: WorkMeter,
+) -> int:
+    """The per-probe triangle kernel as it shipped before the kernel
+    layer — frozen verbatim as the benchmark baseline."""
+    higher = [u for u in seed_neighbors if u > seed]
+    higher_set: Set[int] = set(higher)
+    count = 0
+    for u in higher:
+        gamma_u = neighbor_adjacency[u]
+        for w in gamma_u:
+            meter.charge()
+            if w > u and w in higher_set:
+                count += 1
+    return count
+
+
+def seed_triangle_count_sequential(
+    adjacency: Mapping[int, Sequence[int]], meter: WorkMeter
+) -> int:
+    total = 0
+    for v in sorted(adjacency):
+        total += seed_triangles_for_seed(v, adjacency[v], adjacency, meter)
+    return total
+
+
+def _time(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _intersection_throughput(repeats: int = 200) -> Dict[str, float]:
+    """Ops/second for one skewed + one balanced intersection pair."""
+    small = tuple(range(0, 4_000, 40))
+    large = tuple(range(0, 120_000, 3))
+    balanced_a = tuple(range(0, 60_000, 2))
+    balanced_b = tuple(range(1, 60_000, 2000))
+    out: Dict[str, float] = {}
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            ia, ib = kernels.as_array(small), kernels.as_array(large)
+            ic, id_ = kernels.as_array(balanced_a), kernels.as_array(balanced_b)
+            start = time.perf_counter()
+            for _ in range(repeats):
+                kernels.intersect_count(ia, ib)
+                kernels.intersect_count(ic, id_)
+            elapsed = time.perf_counter() - start
+            out[backend] = 2 * repeats / elapsed
+    return out
+
+
+def bench_kernels(n: int = GRAPH_N, m: int = GRAPH_M) -> Dict[str, object]:
+    graph = preferential_attachment_graph(n, m, seed=GRAPH_SEED)
+    adjacency = {v: tuple(graph.neighbors(v)) for v in graph.vertices()}
+    num_edges = sum(len(ns) for ns in adjacency.values()) // 2
+
+    baseline_meter = WorkMeter()
+    baseline_count, baseline_seconds = _time(
+        lambda: seed_triangle_count_sequential(adjacency, baseline_meter)
+    )
+
+    backends: Dict[str, Dict[str, float]] = {}
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            meter = WorkMeter()
+            count, seconds = _time(
+                lambda: triangle_count_sequential(adjacency, meter)
+            )
+        if count != baseline_count:
+            raise AssertionError(
+                f"{backend}: count {count} != baseline {baseline_count}"
+            )
+        if meter.units != baseline_meter.units:
+            raise AssertionError(
+                f"{backend}: work units {meter.units} != "
+                f"baseline {baseline_meter.units}"
+            )
+        backends[backend] = {
+            "seconds": seconds,
+            "speedup_vs_seed": baseline_seconds / seconds,
+        }
+
+    report = {
+        "benchmark": "triangle-count microbench",
+        "graph": {
+            "generator": "preferential_attachment",
+            "n": n,
+            "m": m,
+            "seed": GRAPH_SEED,
+            "edges": num_edges,
+        },
+        "triangles": baseline_count,
+        "work_units": baseline_meter.units,
+        "seed_kernel_seconds": baseline_seconds,
+        "backends": backends,
+        "intersect_ops_per_second": _intersection_throughput(),
+    }
+    return report
+
+
+def save_report(report: Dict[str, object], path: str = RESULTS_PATH) -> str:
+    path = os.path.abspath(path)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main() -> None:
+    report = bench_kernels()
+    path = save_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"saved {path}")
+
+
+if __name__ == "__main__":
+    main()

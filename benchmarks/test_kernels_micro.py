@@ -1,0 +1,27 @@
+"""Kernel-layer microbench smoke: regenerates BENCH_kernels.json.
+
+Unlike the figure/table benchmarks this measures real wall-clock, so
+the assertions are deliberately loose: the strict claims (identical
+results, identical work units) are raised inside
+:func:`benchmarks.kernels_bench.bench_kernels` itself, and the ≥3×
+numpy-vs-seed speedup target is asserted only when numpy is present
+(wall-clock speedups are environment-dependent; the reference backend
+carries no such target).
+"""
+
+from benchmarks.kernels_bench import RESULTS_PATH, bench_kernels, save_report
+
+
+def test_kernels_microbench(benchmark):
+    report = benchmark.pedantic(bench_kernels, rounds=1, iterations=1)
+    path = save_report(report)
+    assert report["triangles"] > 0
+    assert report["graph"]["edges"] >= 45_000
+    assert "reference" in report["backends"]
+    numpy_stats = report["backends"].get("numpy")
+    if numpy_stats is not None:
+        assert numpy_stats["speedup_vs_seed"] >= 3.0, (
+            f"numpy backend speedup {numpy_stats['speedup_vs_seed']:.2f}x "
+            "below the 3x target"
+        )
+    assert path.endswith("BENCH_kernels.json")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro import kernels
 from repro.core.aggregator import Aggregator, MaxAggregator
 from repro.core.api import GMinerApp
 from repro.core.task import Task, TaskEnv
@@ -36,11 +37,12 @@ class MCFTask(Task):
         if 1 + len(candidates) <= global_bound:
             self.finish(None)  # cannot beat the global best: prune whole task
             return
-        cand_set = set(candidates)
+        cand_arr = kernels.as_array(candidates)
         local_adj = {
-            vid: set(data.neighbors) & cand_set for vid, data in cand_objs.items()
+            vid: kernels.intersect(data.neighbors_array(), cand_arr)
+            for vid, data in cand_objs.items()
         }
-        local_adj[self.seed.vid] = cand_set
+        local_adj[self.seed.vid] = cand_arr
         bound = SharedBound(global_bound)
         best = max_clique_in_candidates(
             [self.seed.vid], candidates, local_adj, bound, meter=self

@@ -25,9 +25,11 @@ class TCTask(Task):
         self.pull(higher)
 
     def update(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> None:
-        neighbor_adjacency = {vid: data.neighbors for vid, data in cand_objs.items()}
+        neighbor_adjacency = {
+            vid: data.neighbors_array() for vid, data in cand_objs.items()
+        }
         count = triangles_for_seed(
-            self.seed.vid, self.seed.neighbors, neighbor_adjacency, meter=self
+            self.seed.vid, self.seed.neighbors_array(), neighbor_adjacency, meter=self
         )
         self.subgraph.add_nodes(neighbor_adjacency)
         self.finish(count)

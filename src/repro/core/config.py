@@ -85,6 +85,15 @@ class GMinerConfig:
     # -- job limits ------------------------------------------------------------
     time_limit: Optional[float] = None  # simulated seconds; None = unlimited
 
+    # -- set-operation kernels (repro.kernels) ---------------------------------
+    #: Backend for sorted-array set operations.  ``None`` keeps the
+    #: process-wide default (``REPRO_KERNEL_BACKEND`` or auto-detect);
+    #: "auto" re-resolves (numpy when importable, else reference);
+    #: "reference" / "numpy" / "bitset" force one.  Backends are
+    #: value- and work-unit-identical — this knob only affects
+    #: wall-clock speed.
+    kernel_backend: Optional[str] = None
+
     # -- misc -------------------------------------------------------------------
     seed_scan_cost: float = 2.0  # work units per vertex scanned by task generator
 
@@ -119,6 +128,12 @@ class GMinerConfig:
             raise ValueError(
                 f"unknown cache policy {self.cache_policy!r}: expected 'rcv' "
                 "(reference-counting, the paper's default), 'lru' or 'fifo'"
+            )
+        if self.kernel_backend not in (None, "auto", "reference", "numpy", "bitset"):
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}: expected "
+                "None (process default), 'auto', 'reference', 'numpy' or "
+                "'bitset'"
             )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ValueError(

@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro import kernels
 from repro.core.aggregator import AggregatorState
 from repro.core.api import GMinerApp
 from repro.core.config import GMinerConfig
@@ -255,6 +256,15 @@ class GMinerJob:
     # ------------------------------------------------------------------
 
     def run(self) -> JobResult:
+        if self.config.kernel_backend is None:
+            return self._run()
+        # pin the set-operation backend for the duration of the job;
+        # backends are work-unit-identical, so this cannot change the
+        # simulated metrics, only wall-clock speed
+        with kernels.use_backend(self.config.kernel_backend):
+            return self._run()
+
+    def _run(self) -> JobResult:
         spec = self.config.cluster
         num_workers = spec.num_nodes
         sim = Simulator()

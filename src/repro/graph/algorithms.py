@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import kernels
 from repro.graph.graph import Graph
 
 
@@ -77,14 +78,14 @@ def triangle_count_exact(graph: Graph) -> int:
     Reference implementation used to validate the TC application and
     baselines; counts each triangle once using the ``u < v < w`` rule.
     """
+    view = graph.adjacency_view()
     total = 0
-    for u in graph.vertices():
-        nu = [v for v in graph.neighbors(u) if v > u]
-        nu_set = set(nu)
-        for v in nu:
-            for w in graph.neighbors(v):
-                if w > v and w in nu_set:
-                    total += 1
+    for u, arr in view.items():
+        higher = kernels.slice_gt(arr, u)
+        for v in kernels.tolist(higher):
+            total += kernels.intersect_count(
+                kernels.slice_gt(view[v], v), kernels.slice_gt(higher, v)
+            )
     return total
 
 

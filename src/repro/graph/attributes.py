@@ -11,7 +11,9 @@ attribute vectors like the paper's footnote 7 describes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro import kernels
 
 #: Encoding base: attribute integer = dimension * BASE + value.
 DIMENSION_BASE = 1000
@@ -54,18 +56,29 @@ class AttributeSpace:
 
 def jaccard_similarity(a: Sequence[int], b: Sequence[int]) -> float:
     """Jaccard similarity of two attribute lists (CD's filter condition)."""
-    sa, sb = set(a), set(b)
-    if not sa and not sb:
+    return jaccard_sorted(kernels.unique_sorted(a), kernels.unique_sorted(b))
+
+
+def jaccard_sorted(ia: Any, ib: Any) -> float:
+    """Jaccard over pre-converted kernel array handles.
+
+    Kernels that compare one fixed attribute list against many
+    candidates convert each side once (:func:`repro.kernels.unique_sorted`)
+    and call this, skipping the per-comparison set/array rebuild.
+    """
+    la, lb = len(ia), len(ib)
+    if not la and not lb:
         return 1.0
-    union = len(sa | sb)
+    inter = kernels.intersect_count(ia, ib)
+    union = la + lb - inter
     if union == 0:
         return 1.0
-    return len(sa & sb) / union
+    return inter / union
 
 
 def overlap_count(a: Sequence[int], b: Sequence[int]) -> int:
     """Number of shared attribute values."""
-    return len(set(a) & set(b))
+    return kernels.intersect_count(kernels.unique_sorted(a), kernels.unique_sorted(b))
 
 
 #: Denominator weight of an attribute outside the focus set.  FocusCO
@@ -91,12 +104,30 @@ def weighted_similarity(
     similarity is driven by the focus attributes while attribute noise
     dampens coincidental low-weight matches.
     """
-    sa, sb = set(a), set(b)
-    # Sum in sorted order: set iteration order depends on which operand
-    # came first, and float addition is not associative, so unsorted
-    # sums would make similarity very slightly asymmetric.
-    score = sum(weights.get(attr, 0.0) for attr in sorted(sa & sb))
-    norm = sum(weights.get(attr, default_weight) for attr in sorted(sa | sb))
+    return weighted_similarity_sorted(
+        kernels.unique_sorted(a), kernels.unique_sorted(b), weights, default_weight
+    )
+
+
+def weighted_similarity_sorted(
+    ia: Any,
+    ib: Any,
+    weights: Dict[int, float],
+    default_weight: float = DEFAULT_UNFOCUSED_WEIGHT,
+) -> float:
+    """:func:`weighted_similarity` over pre-converted kernel handles.
+
+    Both sums run in ascending attribute order — kernel intersections
+    and unions are sorted — because float addition is not associative
+    and an order-dependent sum would make similarity asymmetric.
+    """
+    score = sum(
+        weights.get(attr, 0.0) for attr in kernels.tolist(kernels.intersect(ia, ib))
+    )
+    norm = sum(
+        weights.get(attr, default_weight)
+        for attr in kernels.tolist(kernels.union(ia, ib))
+    )
     if norm == 0.0:
         return 0.0
     return score / norm

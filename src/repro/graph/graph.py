@@ -16,7 +16,9 @@ memory and network cost models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro import kernels
 
 #: Estimated bytes per vertex-ID / per attribute element in serialised
 #: form; used uniformly by the memory gauge and the network model.
@@ -42,6 +44,21 @@ class VertexData:
     def degree(self) -> int:
         return len(self.neighbors)
 
+    def neighbors_array(self) -> Any:
+        """Γ(v) as a kernel-backend array handle, cached per backend.
+
+        The handle feeds :mod:`repro.kernels` set operations directly,
+        so tasks probing the same pulled vertex repeatedly (every seed
+        whose neighbourhood overlaps) skip the per-call conversion.
+        """
+        backend = kernels.get_backend()
+        cached = self.__dict__.get("_neighbors_array")
+        if cached is not None and cached[0] == backend:
+            return cached[1]
+        arr = kernels.as_array(self.neighbors)
+        object.__setattr__(self, "_neighbors_array", (backend, arr))
+        return arr
+
     def estimate_size(self) -> int:
         """Serialised size estimate in bytes (network/memory cost model)."""
         size = VERTEX_OVERHEAD_BYTES + ID_BYTES * (1 + len(self.neighbors))
@@ -58,6 +75,10 @@ class Graph:
         self._adj: Dict[int, Tuple[int, ...]] = {}
         self._labels: Dict[int, str] = {}
         self._attrs: Dict[int, Tuple[int, ...]] = {}
+        # CSR-style cached views: backend name -> {vid: array handle}.
+        # Adjacency is immutable after construction (labels/attributes
+        # attach separately), so views never need invalidation.
+        self._adj_views: Dict[str, Dict[int, Any]] = {}
 
     # -- construction -------------------------------------------------
 
@@ -146,6 +167,35 @@ class Graph:
         """Γ(v): the sorted adjacency tuple of ``vid``."""
         self._require(vid)
         return self._adj[vid]
+
+    def neighbors_array(self, vid: int) -> Any:
+        """Γ(v) as a kernel-backend array handle (cached).
+
+        Built lazily per vertex and memoised per active kernel backend,
+        so mining kernels stop rebuilding ``set(...)``/array copies of
+        the same adjacency on every seed.
+        """
+        self._require(vid)
+        view = self._adj_views.setdefault(kernels.get_backend(), {})
+        arr = view.get(vid)
+        if arr is None:
+            arr = kernels.as_array(self._adj[vid])
+            view[vid] = arr
+        return arr
+
+    def adjacency_view(self) -> Dict[int, Any]:
+        """The whole adjacency as kernel-backend array handles.
+
+        A CSR-style snapshot ``{v: Γ(v) handle}`` covering every
+        vertex, cached per active backend; sequential kernels and
+        oracles iterate this instead of converting per seed.
+        """
+        view = self._adj_views.setdefault(kernels.get_backend(), {})
+        if len(view) != len(self._adj):
+            for vid, ns in self._adj.items():
+                if vid not in view:
+                    view[vid] = kernels.as_array(ns)
+        return view
 
     def degree(self, vid: int) -> int:
         """|Γ(v)|."""

@@ -1,0 +1,238 @@
+"""Vectorised set-operation kernels for the mining hot paths.
+
+Every mining kernel in :mod:`repro.mining` reduces to a handful of
+primitives over **sorted, duplicate-free integer arrays** — adjacency
+lists, candidate sets, attribute lists:
+
+* ``intersect`` / ``intersect_count`` — the primitive that decides
+  graph-pattern-mining throughput (G²Miner, ProbGraph);
+* ``difference`` / ``union`` — candidate filtering and attribute
+  similarity;
+* ``contains`` — bulk membership probes;
+* ``slice_gt`` — the ubiquitous "higher-ID neighbours" restriction.
+
+Three interchangeable backends implement them:
+
+* ``reference`` — pure Python.  Adaptive: two-pointer merge for
+  similar sizes, galloping (exponential + binary search) when one side
+  is much smaller.  Always available; the semantics oracle.
+* ``numpy`` — vectorised via ``searchsorted``/``intersect1d``.
+  Selected automatically when numpy is importable.
+* ``bitset`` — Python big-int bitsets (one ``&`` + ``bit_count`` per
+  intersection), the G²Miner trick for dense neighbourhoods.
+
+Backends are *value-identical*: any program using only this API
+computes the same results (and kernels charge the same work units)
+whichever backend is active — the property tests in
+``tests/test_kernels.py`` enforce it.
+
+Selection: the ``REPRO_KERNEL_BACKEND`` environment variable
+(``auto``/``reference``/``numpy``/``bitset``) picks the process-wide
+default at import; :func:`set_backend` / :func:`use_backend` switch at
+runtime; ``GMinerConfig(kernel_backend=...)`` scopes a choice to one
+job.  ``auto`` means "numpy if importable, else reference" — a missing
+numpy degrades cleanly, it never breaks.
+
+Array handles returned by :func:`as_array` are backend-specific and
+opaque; convert with :func:`tolist` at boundaries.  ``len()`` works on
+every handle.  Passing a handle from backend A to backend B is
+undefined — convert via :func:`tolist` when switching.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.kernels import reference as _reference_mod
+
+__all__ = [
+    "as_array",
+    "tolist",
+    "intersect",
+    "intersect_count",
+    "difference",
+    "union",
+    "contains",
+    "slice_gt",
+    "intersect_count_many",
+    "unique_sorted",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "DEFAULT_BACKEND_ENV",
+]
+
+#: Environment variable consulted once, at import, for the default.
+DEFAULT_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_BACKEND_NAMES = ("reference", "numpy", "bitset")
+
+
+def _load_backend(name: str):
+    if name == "reference":
+        return _reference_mod
+    if name == "numpy":
+        from repro.kernels import numpy_backend
+
+        if not numpy_backend.AVAILABLE:
+            raise ValueError(
+                "kernel backend 'numpy' requested but numpy is not importable"
+            )
+        return numpy_backend
+    if name == "bitset":
+        from repro.kernels import bitset
+
+        return bitset
+    raise ValueError(
+        f"unknown kernel backend {name!r}; expected one of "
+        f"{('auto',) + _BACKEND_NAMES}"
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends importable in this environment, reference first."""
+    names = ["reference"]
+    try:
+        from repro.kernels import numpy_backend
+
+        if numpy_backend.AVAILABLE:
+            names.append("numpy")
+    except ImportError:  # pragma: no cover - numpy import never raises here
+        pass
+    names.append("bitset")
+    return tuple(names)
+
+
+def _resolve_auto() -> str:
+    return "numpy" if "numpy" in available_backends() else "reference"
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Activate a backend process-wide; returns the resolved name.
+
+    ``None`` or ``"auto"`` resolves to numpy when importable, else
+    reference.  Explicitly naming an unavailable backend raises
+    ``ValueError`` (auto-selection never does).
+    """
+    global _active, _active_name
+    resolved = _resolve_auto() if name in (None, "auto") else name
+    _active = _load_backend(resolved)
+    _active_name = resolved
+    return resolved
+
+
+def get_backend() -> str:
+    """Name of the active backend."""
+    return _active_name
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Context manager scoping a backend choice (restores on exit)."""
+    previous = _active_name
+    try:
+        yield set_backend(name)
+    finally:
+        set_backend(previous)
+
+
+def _initial_backend() -> str:
+    requested = os.environ.get(DEFAULT_BACKEND_ENV, "auto").strip().lower()
+    if requested in ("", "auto"):
+        return _resolve_auto()
+    try:
+        _load_backend(requested)
+        return requested
+    except ValueError as exc:
+        warnings.warn(
+            f"{DEFAULT_BACKEND_ENV}={requested!r} unavailable ({exc}); "
+            "falling back to the reference backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "reference"
+
+
+_active_name = _initial_backend()
+_active = _load_backend(_active_name)
+
+
+# ----------------------------------------------------------------------
+# The primitive API.  Inputs to the binary operations must be handles
+# from as_array() (idempotent: feeding a handle back is free).
+# ----------------------------------------------------------------------
+
+
+def as_array(seq: Iterable[int]) -> Any:
+    """Backend handle for a sorted duplicate-free integer sequence.
+
+    Unsorted or duplicated input is normalised (sorted, deduplicated),
+    so any integer iterable is safe; already-sorted tuples — the
+    repo-wide adjacency representation — take the fast path.
+    """
+    return _active.as_array(seq)
+
+
+def tolist(arr: Any) -> List[int]:
+    """Plain ``list[int]`` of a handle (ascending order)."""
+    return _active.tolist(arr)
+
+
+def intersect(a: Any, b: Any) -> Any:
+    """Sorted intersection ``a ∩ b`` as a new handle."""
+    return _active.intersect(a, b)
+
+
+def intersect_count(a: Any, b: Any) -> int:
+    """``|a ∩ b|`` without materialising the intersection."""
+    return _active.intersect_count(a, b)
+
+
+def difference(a: Any, b: Any) -> Any:
+    """Sorted difference ``a \\ b`` as a new handle."""
+    return _active.difference(a, b)
+
+
+def union(a: Any, b: Any) -> Any:
+    """Sorted union ``a ∪ b`` as a new handle."""
+    return _active.union(a, b)
+
+
+def contains(hay: Any, needles: Sequence[int]) -> Sequence[bool]:
+    """Bulk membership: truthy flag per needle, aligned with input.
+
+    ``needles`` is any plain integer sequence (need not be sorted).
+    """
+    return _active.contains(hay, needles)
+
+
+def slice_gt(arr: Any, x: int) -> Any:
+    """Elements of ``arr`` strictly greater than ``x`` (a view/copy)."""
+    return _active.slice_gt(arr, x)
+
+
+def intersect_count_many(
+    arrays: Sequence[Any], thresholds: Sequence[int], target: Any
+) -> Tuple[int, int]:
+    """Batched thresholded intersection count.
+
+    Returns ``(count, scanned)`` where ``count`` is
+    ``sum(|{w ∈ a ∩ target : w > t}|)`` over the paired ``(a, t)`` in
+    ``zip(arrays, thresholds)`` and ``scanned`` is the total number of
+    array elements examined (``Σ len(a)``) — the quantity bulk work
+    metering charges.  Equivalent to calling
+    ``intersect_count(slice_gt(a, t), slice_gt(target, t))`` per pair,
+    but a backend can fuse the whole batch into one pass — the
+    triangle kernel's per-seed hot path.  ``arrays`` items may be raw
+    sorted sequences or handles; they are normalised internally.
+    """
+    return _active.intersect_count_many(arrays, thresholds, target)
+
+
+def unique_sorted(seq: Iterable[int]) -> Any:
+    """Sort + deduplicate an arbitrary integer iterable into a handle."""
+    return _active.unique_sorted(seq)

@@ -11,12 +11,20 @@ For G-Miner, the task seeded at vertex ``v`` searches cliques whose
 minimum vertex is ``v`` (candidates are the higher-ID neighbours), so
 each maximum clique is found exactly once and per-seed tasks stay
 independent.
+
+Candidate ordering and filtering run on :mod:`repro.kernels` sorted
+arrays (``intersect_count`` for degree-within-candidates, ``contains``
+for bulk adjacency masks); the ``adjacency`` argument accepts either
+plain sets — the historical contract — or kernel array handles, and
+is normalised once at entry.  Work charges are unchanged from the
+per-probe era: totals stay bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import kernels
 from repro.mining.cost import WorkMeter
 
 
@@ -49,7 +57,7 @@ class SharedBound:
 
 def _greedy_color_bound(
     candidates: List[int],
-    adjacency: Mapping[int, Set[int]],
+    adj_sets: Mapping[int, Set[int]],
     meter: WorkMeter,
 ) -> int:
     """Greedy colouring upper bound on the clique number of ``candidates``."""
@@ -58,7 +66,7 @@ def _greedy_color_bound(
         placed = False
         for cls in color_classes:
             meter.charge()
-            if not (adjacency[v] & cls):
+            if adj_sets[v].isdisjoint(cls):
                 cls.add(v)
                 placed = True
                 break
@@ -70,19 +78,27 @@ def _greedy_color_bound(
 def max_clique_in_candidates(
     required: Sequence[int],
     candidates: Iterable[int],
-    adjacency: Mapping[int, Set[int]],
+    adjacency: Mapping[int, Iterable[int]],
     bound: SharedBound,
     meter: WorkMeter,
 ) -> Optional[Tuple[int, ...]]:
     """Find the largest clique = ``required`` + subset of ``candidates``.
 
     ``adjacency`` must cover every candidate (restricted adjacency is
-    fine as long as it is symmetric within the candidate set).  Updates
+    fine as long as it is symmetric within the candidate set); values
+    may be sets, sequences, or kernel array handles.  Updates
     ``bound`` as better cliques are found; returns the best clique this
     call discovered, or ``None`` if pruned everywhere.
     """
     base = list(required)
     best_found: Optional[Tuple[int, ...]] = None
+    # Normalise once: sorted arrays for the kernel ops, hash sets for
+    # the colouring bound's disjointness probes.
+    adj_arr = {v: kernels.as_array(ns) for v, ns in adjacency.items()}
+    adj_sets = {
+        v: ns if isinstance(ns, (set, frozenset)) else set(kernels.tolist(adj_arr[v]))
+        for v, ns in adjacency.items()
+    }
 
     def expand(current: List[int], cand: List[int]) -> None:
         nonlocal best_found
@@ -96,18 +112,19 @@ def max_clique_in_candidates(
             return
         # tighter colouring bound, worth computing on larger branches
         if len(cand) > 4:
-            if len(current) + _greedy_color_bound(cand, adjacency, meter) <= bound.value:
+            if len(current) + _greedy_color_bound(cand, adj_sets, meter) <= bound.value:
                 return
         # order candidates by degree within the candidate set (descending)
-        cand_set = set(cand)
+        cand_arr = kernels.as_array(cand)
         ordered = sorted(
-            cand, key=lambda v: (-len(adjacency[v] & cand_set), v)
+            cand, key=lambda v: (-kernels.intersect_count(adj_arr[v], cand_arr), v)
         )
         while ordered:
             if len(current) + len(ordered) <= bound.value:
                 return
             v = ordered.pop(0)
-            next_cand = [u for u in ordered if u in adjacency[v]]
+            mask = kernels.contains(adj_arr[v], ordered)
+            next_cand = [u for u, hit in zip(ordered, mask) if hit]
             meter.charge(len(ordered))
             current.append(v)
             expand(current, next_cand)
@@ -126,17 +143,24 @@ def max_clique_sequential(
 
     Iterates seeds in degeneracy-friendly order (descending degree) so
     the bound tightens early, mirroring an optimised sequential solver.
+    The per-seed restricted adjacency is built with vectorised
+    intersections against one shared sorted view of the graph.
     """
     bound = bound or SharedBound()
-    seeds = sorted(adjacency, key=lambda v: (-len(adjacency[v]), v))
-    adj_sets: Dict[int, Set[int]] = {v: set(ns) for v, ns in adjacency.items()}
+    view = {v: kernels.as_array(ns) for v, ns in adjacency.items()}
+    seeds = sorted(view, key=lambda v: (-len(view[v]), v))
     for v in seeds:
-        higher = [u for u in adj_sets[v] if u > v]
+        # Candidate order feeds the (order-sensitive) greedy colouring
+        # bound; iterate a hash set exactly as this kernel always has,
+        # so pruning decisions — and hence work totals — stay
+        # bit-identical to the per-probe implementation.
+        higher = [u for u in set(adjacency[v]) if u > v]
         if 1 + len(higher) <= bound.value:
             meter.charge()
             continue
-        local = {u: adj_sets[u] & set(higher) for u in higher}
-        local[v] = set(higher)
+        higher_arr = kernels.as_array(higher)
+        local = {u: kernels.intersect(view[u], higher_arr) for u in higher}
+        local[v] = higher_arr
         max_clique_in_candidates([v], higher, local, bound, meter)
     return bound.best_clique
 
@@ -150,7 +174,10 @@ def maximal_cliques(
 
     Used by tests as a ground-truth oracle and by the Arabesque-like
     baseline model, whose embedding exploration effectively enumerates
-    cliques level by level.
+    cliques level by level.  Deliberately stays on hash sets: the
+    recursion mutates ``p``/``x`` at every level, which is exactly the
+    access pattern sorted arrays are worst at, and as the oracle it is
+    worth keeping textbook-shaped.
     """
     adj: Dict[int, Set[int]] = {v: set(ns) for v, ns in adjacency.items()}
     out: List[Tuple[int, ...]] = []

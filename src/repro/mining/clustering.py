@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.graph.attributes import infer_attribute_weights, weighted_similarity
+from repro import kernels
+from repro.graph.attributes import infer_attribute_weights, weighted_similarity_sorted
 from repro.mining.cost import WorkMeter
 
 NEED = "need"
@@ -73,6 +74,25 @@ class FocusedClusterGrower:
         self.finished = False
         self.result: Optional[Tuple[int, ...]] = None
         self._edge_weight_cache: Dict[Tuple[int, int], float] = {}
+        # kernel-handle caches for attribute and neighbour tuples; like
+        # the edge-weight cache these are derived views and do not
+        # count toward the task-memory estimate
+        self._attr_arrs: Dict[int, object] = {}
+        self._nbr_arrs: Dict[int, object] = {}
+
+    def _attr_arr(self, vid: int, attrs: Sequence[int]):
+        arr = self._attr_arrs.get(vid)
+        if arr is None:
+            arr = kernels.unique_sorted(attrs)
+            self._attr_arrs[vid] = arr
+        return arr
+
+    def _nbr_arr(self, vid: int, neighbors: Sequence[int]):
+        arr = self._nbr_arrs.get(vid)
+        if arr is None:
+            arr = kernels.as_array(neighbors)
+            self._nbr_arrs[vid] = arr
+        return arr
 
     # -- helpers --------------------------------------------------------
 
@@ -100,8 +120,13 @@ class FocusedClusterGrower:
             self.member_data[v][1] if v in self.member_data
             else candidate_data[v][1]
         )
+        # charge the raw list lengths — the cost of the similarity the
+        # per-probe implementation modelled — not the deduplicated
+        # handle lengths
         meter.charge(len(au) + len(av) + 1)
-        weight = weighted_similarity(au, av, self.weights)
+        weight = weighted_similarity_sorted(
+            self._attr_arr(u, au), self._attr_arr(v, av), self.weights
+        )
         self._edge_weight_cache[key] = weight
         return weight
 
@@ -114,8 +139,8 @@ class FocusedClusterGrower:
     ) -> Dict[int, float]:
         """Weights of v's edges into the current members."""
         out: Dict[int, float] = {}
+        meter.charge(len(neighbors))
         for u in neighbors:
-            meter.charge()
             if u in self.members:
                 out[u] = self._edge_weight(u, v, candidate_data, meter)
         return out
@@ -130,8 +155,8 @@ class FocusedClusterGrower:
 
     def _expel(self, v: int, candidate_data, meter: WorkMeter) -> None:
         neighbors, _ = self.member_data[v]
+        meter.charge(len(neighbors))
         for u in neighbors:
-            meter.charge()
             if u in self.members and u != v:
                 self.incident[u] -= self._edge_weight(u, v, candidate_data, meter)
         self.total_weight -= self.incident[v]
@@ -190,10 +215,12 @@ class FocusedClusterGrower:
                 # true connection includes edges to members admitted
                 # earlier in this same round
                 connection = dict(connections[v])
-                v_neighbors = set(candidate_data[v][0])
-                for u in admitted_this_round:
-                    meter.charge()
-                    if u in v_neighbors:
+                meter.charge(len(admitted_this_round))
+                hits = kernels.contains(
+                    self._nbr_arr(v, candidate_data[v][0]), admitted_this_round
+                )
+                for u, hit in zip(admitted_this_round, hits):
+                    if hit:
                         connection[u] = self._edge_weight(
                             u, v, candidate_data, meter
                         )
@@ -212,10 +239,11 @@ class FocusedClusterGrower:
                 n = len(self.members)
                 best_removal: Optional[int] = None
                 best_cohesion = self.cohesion
+                # one unit per non-seed member trialled, charged in bulk
+                meter.charge(len(self.members) - 1)
                 for v in sorted(self.members):
                     if v == self.seed:
                         continue
-                    meter.charge()
                     trial = 2.0 * (self.total_weight - self.incident[v]) / (n - 1)
                     if trial > best_cohesion + self.params.min_cohesion_gain:
                         best_cohesion = trial

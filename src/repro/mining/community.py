@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.graph.attributes import jaccard_similarity
+from repro import kernels
+from repro.graph.attributes import jaccard_sorted
 from repro.mining.cost import WorkMeter
 
 #: Stepper outcome tags.
@@ -75,6 +76,11 @@ class CommunityGrower:
         self.seed = seed
         self.params = params
         self.seed_attrs = tuple(seed_attrs)
+        self._seed_attr_arr = kernels.unique_sorted(self.seed_attrs)
+        # candidate attribute lists converted to kernel handles once;
+        # the greedy scan re-evaluates the same candidates every
+        # admission, so this cache is hit O(community size) times each
+        self._attr_arrs: Dict[int, object] = {}
         self.community: Set[int] = {seed}
         self.member_data: Dict[int, VertexInfo] = {
             seed: (tuple(seed_neighbors), self.seed_attrs)
@@ -107,12 +113,16 @@ class CommunityGrower:
                 return (NEED, self.needed())
             best: Optional[int] = None
             best_key: Tuple[int, int] = (0, 0)
+            # one unit per candidate scanned, charged in bulk
+            meter.charge(len(self.links))
             for v, link_count in self.links.items():
-                meter.charge()
                 if v in self.community:
                     continue
-                _, attrs = candidate_data[v]
-                sim = jaccard_similarity(self.seed_attrs, attrs)
+                attr_arr = self._attr_arrs.get(v)
+                if attr_arr is None:
+                    attr_arr = kernels.unique_sorted(candidate_data[v][1])
+                    self._attr_arrs[v] = attr_arr
+                sim = jaccard_sorted(self._seed_attr_arr, attr_arr)
                 meter.charge(len(self.seed_attrs) + 1)
                 if sim < self.params.tau:
                     continue
@@ -129,8 +139,8 @@ class CommunityGrower:
             self.member_data[best] = candidate_data[best]
             self.internal_edges = new_edges
             neighbors, _ = candidate_data[best]
+            meter.charge(len(neighbors))
             for u in neighbors:
-                meter.charge()
                 if u not in self.community:
                     self.links[u] = self.links.get(u, 0) + 1
             self.links.pop(best, None)

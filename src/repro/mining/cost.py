@@ -46,8 +46,18 @@ class WorkMeter:
 class Budget(WorkMeter):
     """A work meter that raises :class:`BudgetExceeded` past ``limit``.
 
-    ``check_interval`` controls how often the limit is tested — charging
-    is on every hot-loop iteration, so the comparison is amortised.
+    ``check_interval`` is denominated in *work units*, not calls: the
+    countdown decrements by the charged amount, so a bulk
+    ``charge(n)`` drains it by ``n`` and triggers the limit test the
+    moment ``check_interval`` units have accumulated since the last
+    test.  That keeps the undetected overshoot bounded by
+    ``check_interval`` alone, independent of how work is batched —
+    whenever ``charge`` returns normally, ``units < limit +
+    check_interval``.  (Counting calls instead, as this class once
+    did, let a kernel charging in batches of ``b`` overshoot by up to
+    ``check_interval × b`` before the first test.)  For unit charges
+    the two schemes are identical, so per-probe kernels see no
+    behaviour change.
     """
 
     __slots__ = ("limit", "_check_every", "_until_check")
@@ -58,13 +68,13 @@ class Budget(WorkMeter):
             raise ValueError("budget limit must be positive")
         self.limit = limit
         self._check_every = max(1, check_interval)
-        self._until_check = self._check_every
+        self._until_check = float(self._check_every)
 
     def charge(self, units: float = 1.0) -> None:
         self.units += units
-        self._until_check -= 1
+        self._until_check -= units
         if self._until_check <= 0:
-            self._until_check = self._check_every
+            self._until_check = float(self._check_every)
             if self.units > self.limit:
                 raise BudgetExceeded(self.units, self.limit)
 

@@ -10,13 +10,37 @@ task model: the graphlet containing vertices ``S`` is counted by the
 task seeded at ``min(S)``, extending only with higher-ID vertices, so
 every connected set is enumerated exactly once and per-seed counts are
 independent.
+
+Induced-degree probes and extension scans run on :mod:`repro.kernels`
+sorted arrays, charged in bulk with the same unit totals as the
+historical per-probe loops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
+from repro import kernels
 from repro.mining.cost import WorkMeter
+
+
+class _LazyArrays:
+    """Mapping view converting adjacency lists to kernel handles on
+    first access.  Wrapping an already-converted view is free: each
+    backend's ``as_array`` short-circuits on its own handle type."""
+
+    __slots__ = ("_raw", "_arrs")
+
+    def __init__(self, raw: Mapping[int, Sequence[int]]) -> None:
+        self._raw = raw
+        self._arrs: Dict[int, Any] = {}
+
+    def __getitem__(self, v: int) -> Any:
+        arr = self._arrs.get(v)
+        if arr is None:
+            arr = kernels.as_array(self._raw[v])
+            self._arrs[v] = arr
+        return arr
 
 #: Isomorphism classes for k=3: path (2 edges), triangle (3 edges).
 GRAPHLET3_NAMES = {2: "path3", 3: "triangle"}
@@ -43,12 +67,14 @@ def classify_graphlet(
     """
     vs = list(vertices)
     k = len(vs)
-    vset = set(vs)
+    arrs = adjacency if isinstance(adjacency, _LazyArrays) else _LazyArrays(adjacency)
+    vs_arr = kernels.as_array(vs)
+    # one unit per member, as the per-probe loop charged
+    meter.charge(len(vs))
     degrees = []
     edges = 0
     for v in vs:
-        meter.charge()
-        d = sum(1 for u in adjacency[v] if u in vset)
+        d = kernels.intersect_count(arrs[v], vs_arr)
         degrees.append(d)
         edges += d
     edges //= 2
@@ -83,10 +109,11 @@ def graphlets_for_seed(
     if k < 2:
         raise ValueError("graphlets need k >= 2")
     counts: Dict[str, int] = {}
+    arrs = adjacency if isinstance(adjacency, _LazyArrays) else _LazyArrays(adjacency)
 
     def record(current: List[int]) -> None:
         if classify:
-            name = classify_graphlet(current, adjacency, meter)
+            name = classify_graphlet(current, arrs, meter)
         else:
             name = "total"
         counts[name] = counts.get(name, 0) + 1
@@ -103,16 +130,25 @@ def graphlets_for_seed(
         for i, v in enumerate(ext):
             new_extension = set(ext[i + 1 :])
             new_forbidden = forbidden | set(ext)
-            for u in adjacency[v]:
-                meter.charge()
-                if u > seed and u not in new_forbidden:
-                    new_extension.add(u)
-                    new_forbidden.add(u)
+            arr = arrs[v]
+            # one unit per adjacency element scanned, charged in bulk.
+            # Filtering against the pre-scan ``new_forbidden`` snapshot
+            # equals the historical in-loop mutation: adjacency lists
+            # are duplicate-free, so marking ``u`` forbidden mid-scan
+            # could only have affected a repeat of ``u`` itself.
+            meter.charge(len(arr))
+            fresh = [
+                u
+                for u in kernels.tolist(kernels.slice_gt(arr, seed))
+                if u not in new_forbidden
+            ]
+            new_extension.update(fresh)
+            new_forbidden.update(fresh)
             current.append(v)
             extend(current, new_extension, new_forbidden)
             current.pop()
 
-    initial = {u for u in adjacency[seed] if u > seed}
+    initial = set(kernels.tolist(kernels.slice_gt(arrs[seed], seed)))
     extend([seed], initial, {seed} | initial)
     return counts
 
@@ -123,11 +159,16 @@ def graphlet_count_sequential(
     meter: WorkMeter,
     classify: bool = True,
 ) -> Dict[str, int]:
-    """Whole-graph k-graphlet histogram (single-thread kernel)."""
+    """Whole-graph k-graphlet histogram (single-thread kernel).
+
+    Converts the adjacency to kernel arrays once and shares that view
+    across every seed.
+    """
     totals: Dict[str, int] = {}
-    for seed in sorted(adjacency):
+    view = {v: kernels.as_array(ns) for v, ns in adjacency.items()}
+    for seed in sorted(view):
         for name, n in graphlets_for_seed(
-            seed, k, adjacency, meter, classify=classify
+            seed, k, view, meter, classify=classify
         ).items():
             totals[name] = totals.get(name, 0) + n
     return totals

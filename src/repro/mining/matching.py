@@ -42,8 +42,14 @@ def _extend_one(
             return
         node = level_nodes[i]
         parent_image = parent_images[node.parent]
-        for candidate in adjacency.get(parent_image, ()):
-            meter.charge()
+        cands = adjacency.get(parent_image, ())
+        if not isinstance(cands, (tuple, list)):
+            cands = tuple(cands)
+        # one unit per candidate probed, charged in bulk; the label and
+        # injectivity filters stay scalar — labels are arbitrary
+        # strings, outside the sorted-integer kernel domain
+        meter.charge(len(cands))
+        for candidate in cands:
             if candidate in used or candidate in assignment:
                 continue
             if labels.get(candidate) != node.label:

@@ -5,12 +5,21 @@ at vertex ``v`` counts triangles ``v < u < w`` where ``u, w ∈ Γ(v)``
 and ``(u, w) ∈ E``.  Summing over all seeds counts every triangle
 exactly once, so per-seed results are independent — the property that
 lets TC run as one G-Miner task per vertex.
+
+The whole seed is one :func:`repro.kernels.intersect_count_many`
+call: the batch of ``|Γ(u) ∩ Γ⁺(v)|`` counts restricted to ids above
+each ``u``, fused into a single pass by backends that support it.
+Work is charged in bulk — ``Σ|Γ(u)|`` units per seed, the same total
+the historical per-probe loop charged one unit at a time — so
+simulated times are unchanged while the Python-level per-probe
+overhead disappears.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
+from repro import kernels
 from repro.mining.cost import WorkMeter
 
 
@@ -23,18 +32,18 @@ def triangles_for_seed(
     """Count triangles whose minimum vertex is ``seed``.
 
     ``neighbor_adjacency`` must provide ``Γ(u)`` for every neighbor
-    ``u > seed`` (the task pulls these as its candidates).  One work
-    unit is charged per membership probe.
+    ``u > seed`` (the task pulls these as its candidates); values may
+    be plain sequences or :func:`repro.kernels.as_array` handles.  One
+    work unit is charged per adjacency element probed, in one bulk
+    charge per seed.
     """
-    higher = [u for u in seed_neighbors if u > seed]
-    higher_set: Set[int] = set(higher)
-    count = 0
-    for u in higher:
-        gamma_u = neighbor_adjacency[u]
-        for w in gamma_u:
-            meter.charge()
-            if w > u and w in higher_set:
-                count += 1
+    higher = kernels.slice_gt(kernels.as_array(seed_neighbors), seed)
+    higher_list = kernels.tolist(higher)
+    if not higher_list:
+        return 0
+    arrays = [neighbor_adjacency[u] for u in higher_list]
+    count, scanned = kernels.intersect_count_many(arrays, higher_list, higher)
+    meter.charge(scanned)
     return count
 
 
@@ -42,10 +51,15 @@ def triangle_count_sequential(
     adjacency: Mapping[int, Sequence[int]],
     meter: WorkMeter,
 ) -> int:
-    """Whole-graph triangle count (single-thread baseline kernel)."""
+    """Whole-graph triangle count (single-thread baseline kernel).
+
+    Converts the adjacency to kernel arrays once, up front, and shares
+    that view across every seed.
+    """
+    view = {v: kernels.as_array(ns) for v, ns in adjacency.items()}
     total = 0
-    for v in sorted(adjacency):
-        total += triangles_for_seed(v, adjacency[v], adjacency, meter)
+    for v in sorted(view):
+        total += triangles_for_seed(v, view[v], view, meter)
     return total
 
 

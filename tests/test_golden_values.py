@@ -9,7 +9,9 @@ ones EXPERIMENTS.md quotes.
 
 import pytest
 
-from repro.bench.runner import run_gminer
+from repro.bench.runner import prepare_dataset, run, run_gminer
+from repro.mining.cost import WorkMeter
+from repro.mining.graphlets import graphlet_count_sequential
 from repro.sim.cluster import ClusterSpec
 
 SPEC = ClusterSpec(num_nodes=4, cores_per_node=4)
@@ -59,3 +61,43 @@ def test_community_counts(dataset):
     result = run_gminer("cd", dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert len(result.value) == GOLDEN_COMMUNITIES[dataset]
+
+
+#: workload/dataset -> exact work units of the single-thread baseline.
+#: These pin the *cost model*, not just the results: simulated seconds
+#: are work units divided by core speed, so any kernel change that
+#: alters a total silently shifts every reported time.  The values were
+#: captured from the per-probe-charging implementation; the vectorised
+#: kernels must reproduce them exactly (the work-unit-invariance
+#: contract in DESIGN.md).
+WORK_UNIT_PINS = {
+    "tc/skitter-s": 110575.0,
+    "tc/orkut-s": 2398340.0,
+    "tc/btc-s": 532306.0,
+    "tc/friendster-s": 3352784.0,
+    "mcf/skitter-s": 26708.0,
+    "mcf/btc-s": 199366.0,
+    "gm/skitter-s": 25471.0,
+    "gm/btc-s": 87578.0,
+    "cd/dblp-s": 3837723.0,
+    "cd/tencent-s": 15308973.0,
+    "gc/dblp-s": 1311696.0,
+}
+
+
+@pytest.mark.parametrize("key", sorted(WORK_UNIT_PINS))
+def test_work_unit_pins(key):
+    workload, dataset = key.split("/")
+    result = run(system="single-thread", workload=workload, dataset=dataset)
+    assert result.stats["work_units"] == WORK_UNIT_PINS[key]
+
+
+def test_graphlet_work_unit_pin():
+    built = prepare_dataset("skitter-s", "gl")
+    adjacency = {
+        v: tuple(built.graph.neighbors(v)) for v in built.graph.vertices()
+    }
+    meter = WorkMeter()
+    histogram = graphlet_count_sequential(3, adjacency, meter)
+    assert meter.units == 8412916.0
+    assert histogram == {"path3": 117329, "triangle": 5378}

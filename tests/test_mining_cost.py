@@ -57,3 +57,25 @@ class TestBudget:
         for _ in range(999):
             b.charge()
         b.check()
+
+    @pytest.mark.parametrize("batch", [1, 7, 64, 1000, 10_000])
+    def test_bulk_overshoot_bounded(self, batch):
+        # The countdown decrements by the charged amount, so a bulk
+        # charge reaching the check interval is checked immediately:
+        # whenever charge() returns normally, the overshoot past the
+        # limit is below check_interval regardless of batch size.
+        b = Budget(limit=500, check_interval=64)
+        with pytest.raises(BudgetExceeded):
+            while True:
+                b.charge(batch)
+                assert b.units < 500 + 64
+
+    def test_bulk_charge_checked_like_unit_charges(self):
+        # one charge(n) trips the budget exactly as n charge(1) calls do
+        bulk = Budget(limit=100, check_interval=10)
+        with pytest.raises(BudgetExceeded):
+            bulk.charge(150)
+        unit = Budget(limit=100, check_interval=10)
+        with pytest.raises(BudgetExceeded):
+            for _ in range(150):
+                unit.charge()
