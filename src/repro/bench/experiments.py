@@ -804,6 +804,103 @@ def ablation_fault_tolerance() -> ExperimentReport:
 
 
 # ----------------------------------------------------------------------
+# Ablation C2 — chaos: seeded random fault schedules (§7)
+# ----------------------------------------------------------------------
+
+def _chaos_plan(seed: int, clean: JobResult, num_nodes: int) -> FailurePlan:
+    """Expand ``seed`` into a random fault schedule against ``clean``'s
+    timeline: kills that always recover, plus link loss, duplication,
+    reordering, slow links and healed partition windows."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    plan = FailurePlan(seed=seed)
+    dur = clean.mining_seconds
+    for victim in rng.sample(range(num_nodes), rng.randint(1, 2)):
+        plan.kill(
+            victim,
+            at_time=clean.setup_seconds + rng.uniform(0.2, 0.9) * dur,
+            recovery_delay=rng.uniform(0.05, 0.2),
+        )
+    if rng.random() < 0.7:
+        plan.lossy(rng.uniform(0.02, 0.15))
+    if rng.random() < 0.5:
+        plan.duplicating(rng.uniform(0.02, 0.2))
+    if rng.random() < 0.5:
+        plan.reordering(rng.uniform(0.05, 0.3), delay=0.002)
+    if rng.random() < 0.4:
+        plan.slow_link(rng.uniform(1.5, 4.0), src=rng.randrange(num_nodes))
+    if rng.random() < 0.4:
+        a, b = rng.sample(range(num_nodes), 2)
+        start = clean.setup_seconds + rng.uniform(0.1, 0.5) * dur
+        plan.partition(src=a, dst=b, start=start, end=start + rng.uniform(0.02, 0.08))
+        plan.partition(src=b, dst=a, start=start, end=start + rng.uniform(0.02, 0.08))
+    return plan
+
+
+def ablation_chaos(seeds: Sequence[int] = (0, 1, 2, 3, 4)) -> ExperimentReport:
+    """Seeded chaos schedules (§7): results must match fault-free exactly.
+
+    A fault-free TC run fixes the timeline; each seed then expands into
+    a random schedule of kills, loss, duplication, reordering, slow
+    links and partition windows.  The headline check is exactness: the
+    mined value and result count are identical to the fault-free run
+    for every seed, with the detection/retry machinery visibly at work.
+    """
+    (clean,) = _run_cells([_cell("tc", "skitter-s", checkpoint_interval=0.1)])
+    num_nodes = EXPERIMENT_SPEC.num_nodes
+    plans = {seed: _chaos_plan(seed, clean, num_nodes) for seed in seeds}
+    results = _run_cells(
+        [
+            _cell(
+                "tc", "skitter-s", checkpoint_interval=0.1,
+                failure_plan=plans[seed], time_limit=120.0,
+                label=f"chaos seed {seed}",
+            )
+            for seed in seeds
+        ]
+    )
+    rows, labels, data = [], [], {"clean": clean}
+    exact = 0
+    for seed, r in zip(seeds, results):
+        match = r.ok and r.value == clean.value and r.num_results == clean.num_results
+        exact += match
+        data[f"seed {seed}"] = r
+        labels.append(f"seed {seed}")
+        rows.append(
+            [
+                format_cell(r),
+                "yes" if match else "NO",
+                str(int(r.stats["failures_detected"])),
+                str(int(r.stats["readmissions"])),
+                str(int(r.stats["rpc_retries"])),
+                str(int(r.stats["net_fault_dropped"]
+                        + r.stats["net_fault_partition_dropped"])),
+                str(int(r.stats["net_fault_duplicated"])),
+            ]
+        )
+    rendered = render_table(
+        "Ablation C2: chaos schedules (§7), TC on skitter-s "
+        f"(fault-free value {clean.value} in {clean.total_seconds:.3f}s)",
+        ["Time(s)", "Exact", "Detected", "Readmits", "Retries", "Dropped", "Dup'd"],
+        rows,
+        labels,
+        label_header="Schedule",
+    )
+    checks = []
+    if exact == len(seeds):
+        checks.append(
+            "results under every chaos schedule are bit-identical to fault-free"
+        )
+    if any(r.stats["failures_detected"] > 0 for r in results):
+        checks.append("failures are detected by heartbeat silence, not an oracle")
+    return ExperimentReport(
+        "ablationC2", "Chaos schedules", rendered,
+        data=data, checks=checks,
+    )
+
+
+# ----------------------------------------------------------------------
 # Ablation D — cache sharing vs multi-process deployment (§5.1)
 # ----------------------------------------------------------------------
 
@@ -868,5 +965,6 @@ ALL_EXPERIMENTS = [
     ablation_cache,
     ablation_splitting,
     ablation_fault_tolerance,
+    ablation_chaos,
     ablation_multiprocess,
 ]

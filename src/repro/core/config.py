@@ -73,6 +73,27 @@ class GMinerConfig:
 
     # -- fault tolerance (§7) ------------------------------------------------
     checkpoint_interval: Optional[float] = None  # seconds; None disables
+    #: How the master learns about dead workers when a failure plan is
+    #: armed.  "heartbeat" (the default) runs the real suspect→confirm
+    #: timeout monitor over worker heartbeats; "oracle" keeps the
+    #: legacy direct injector→master hook, retained as a test-only
+    #: shortcut.
+    failure_detection: str = "heartbeat"  # "heartbeat" | "oracle"
+    heartbeat_interval: float = 0.02  # seconds between worker heartbeats
+    #: Heartbeat silence after which the master *suspects* a worker;
+    #: silence past twice this confirms the failure and triggers
+    #: recovery.  Must comfortably exceed ``heartbeat_interval`` or
+    #: ordinary jitter produces false positives.
+    suspect_timeout: float = 0.08
+    #: Per-pull RPC timeout: an unanswered pull is retransmitted with
+    #: seeded exponential backoff + jitter after this many seconds.
+    rpc_timeout: float = 0.05
+    #: Retries per backoff cycle.  An exhausted cycle does not abandon
+    #: the pull (that would lose the task): the worker cools down for
+    #: one maximum-backoff period and starts a fresh cycle, unless the
+    #: owner has been declared down (then the pull parks until
+    #: ``WorkerUp``).
+    rpc_max_retries: int = 4
 
     # -- extensions (paper §9 future work) -----------------------------------
     enable_splitting: bool = False
@@ -134,6 +155,35 @@ class GMinerConfig:
                 f"unknown kernel_backend {self.kernel_backend!r}: expected "
                 "None (process default), 'auto', 'reference', 'numpy' or "
                 "'bitset'"
+            )
+        if self.failure_detection not in ("heartbeat", "oracle"):
+            raise ValueError(
+                f"unknown failure_detection {self.failure_detection!r}: "
+                "expected 'heartbeat' (the real suspect/confirm monitor, "
+                "the default) or 'oracle' (test-only direct hook)"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be a positive number of simulated "
+                f"seconds; got {self.heartbeat_interval!r}"
+            )
+        if self.suspect_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"suspect_timeout ({self.suspect_timeout!r}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval!r}), or every "
+                "ordinary heartbeat gap becomes a false suspicion; use at "
+                "least 2-4 heartbeat intervals"
+            )
+        if self.rpc_timeout <= 0:
+            raise ValueError(
+                f"rpc_timeout must be a positive number of simulated "
+                f"seconds; got {self.rpc_timeout!r}"
+            )
+        if self.rpc_max_retries < 0:
+            raise ValueError(
+                f"rpc_max_retries cannot be negative; got "
+                f"{self.rpc_max_retries!r} (0 means retry once per cycle "
+                "with no backoff growth)"
             )
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ValueError(

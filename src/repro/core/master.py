@@ -17,6 +17,8 @@ from repro.core.messages import (
     AggBroadcast,
     AggReport,
     CheckpointCommand,
+    Heartbeat,
+    MembershipView,
     MigrateCommand,
     NoTask,
     ProgressReport,
@@ -24,6 +26,7 @@ from repro.core.messages import (
     WorkerDown,
     WorkerUp,
 )
+from repro.core.tracing import NullTraceLog, TaskEvent, TraceLog
 from repro.sim.cluster import Cluster
 
 
@@ -52,6 +55,21 @@ class Master:
         self.steals_brokered = 0
         self.no_task_replies = 0
         self.checkpoint_epoch = 0
+        # -- failure detection (§7): heartbeat suspect→confirm monitor --
+        self.monitoring = False
+        self.view = 0  # membership version; bumps on every down/up change
+        self.last_heard: Dict[int, float] = {}
+        self.suspected: Set[int] = set()
+        self.incarnations: Dict[int, int] = {}
+        self.failures_detected = 0
+        self.workers_suspected = 0
+        self.readmissions = 0
+        self.stale_messages_dropped = 0
+        self.unknown_messages_dropped = 0
+        #: job-level hook fired whenever a down worker is re-admitted
+        #: (used to release the recovery hold on job completion)
+        self.on_worker_readmitted = None
+        self.trace: TraceLog = NullTraceLog()  # replaced by GMinerJob
         cluster.network.register_handler(endpoint, self._on_message)
 
     # ------------------------------------------------------------------
@@ -122,13 +140,109 @@ class Master:
         return best
 
     # ------------------------------------------------------------------
+    # failure detection (§7): the suspect→confirm heartbeat monitor
+    # ------------------------------------------------------------------
+
+    def start_failure_monitor(self) -> None:
+        """Arm the heartbeat timeout monitor (the real detection path).
+
+        Silence beyond ``suspect_timeout`` marks a worker *suspected*;
+        beyond twice that, the failure is confirmed and the normal
+        recovery machinery (``handle_worker_failure``) runs.  A
+        heartbeat from a confirmed-down worker re-admits it through
+        ``handle_worker_recovery`` — exactly the path a genuinely
+        recovered node takes, so false positives heal themselves.
+
+        Only armed when a failure plan exists: fault-free runs carry no
+        heartbeat traffic and stay byte-identical to a build without
+        the fault layer.
+        """
+        self.monitoring = True
+        now = self.sim.now
+        for worker in range(self.num_workers):
+            self.last_heard[worker] = now
+        self.sim.schedule(self.config.heartbeat_interval, self._monitor_tick)
+
+    def _monitor_tick(self) -> None:
+        if self.controller.finished:
+            return
+        now = self.sim.now
+        suspect_after = self.config.suspect_timeout
+        confirm_after = 2.0 * suspect_after
+        for worker in range(self.num_workers):
+            if worker in self.down_workers:
+                continue
+            silence = now - self.last_heard.get(worker, now)
+            if silence > confirm_after:
+                self.suspected.discard(worker)
+                self.failures_detected += 1
+                self.trace.emit(
+                    now, worker, -1, TaskEvent.WORKER_CONFIRMED_DOWN, detail=silence
+                )
+                self.handle_worker_failure(worker)
+            elif silence > suspect_after:
+                if worker not in self.suspected:
+                    self.suspected.add(worker)
+                    self.workers_suspected += 1
+                    self.trace.emit(
+                        now, worker, -1, TaskEvent.WORKER_SUSPECTED, detail=silence
+                    )
+            else:
+                self.suspected.discard(worker)
+        # gossip the full membership view every tick: any individual
+        # WorkerDown/WorkerUp notice can be lost on a degraded fabric,
+        # and a worker acting on a stale view would park pulls forever
+        view = MembershipView(down=tuple(sorted(self.down_workers)), view=self.view)
+        for worker in range(self.num_workers):
+            if worker not in self.down_workers:
+                self.cluster.network.send(
+                    self.endpoint, worker, view.size_bytes(), view
+                )
+        self.sim.schedule(self.config.heartbeat_interval, self._monitor_tick)
+
+    def _on_heartbeat(self, worker: int, incarnation: int = 0) -> None:
+        now = self.sim.now
+        self.last_heard[worker] = now
+        known = self.incarnations.get(worker, 0)
+        if not self.monitoring:
+            # oracle mode: membership is driven directly by the injector
+            # hooks; heartbeats are pure liveness signals
+            self.incarnations[worker] = max(known, incarnation)
+            return
+        if worker in self.down_workers:
+            # the casualty (or a falsely-suspected survivor) is talking
+            # again: re-admission runs the same recovery broadcast path
+            self.readmissions += 1
+            self.incarnations[worker] = incarnation
+            self.trace.emit(now, worker, -1, TaskEvent.WORKER_RECOVERED)
+            self.handle_worker_recovery(worker)
+        elif incarnation > known:
+            # the worker rebooted faster than the silence monitor could
+            # confirm it dead — without this check its lost state would
+            # never be re-spread (peers would keep their migrated-task
+            # copies forever).  Run the full down→up path.
+            self.failures_detected += 1
+            self.readmissions += 1
+            self.incarnations[worker] = incarnation
+            self.trace.emit(now, worker, -1, TaskEvent.WORKER_CONFIRMED_DOWN)
+            self.trace.emit(now, worker, -1, TaskEvent.WORKER_RECOVERED)
+            self.handle_worker_failure(worker)
+            self.handle_worker_recovery(worker)
+        else:
+            # a reordered stale heartbeat may carry an old incarnation;
+            # never move the recorded incarnation backwards
+            self.incarnations[worker] = max(known, incarnation)
+            self.suspected.discard(worker)
+
+    # ------------------------------------------------------------------
     # failure handling (§7)
     # ------------------------------------------------------------------
 
     def handle_worker_failure(self, worker: int) -> None:
         self.down_workers.add(worker)
         self.progress_table.pop(worker, None)
-        notice = WorkerDown(worker=worker)
+        self.view += 1
+        notice = WorkerDown(worker=worker, view=self.view)
         for other in range(self.num_workers):
             if other != worker and other not in self.down_workers:
                 self.cluster.network.send(
@@ -137,12 +251,17 @@ class Master:
 
     def handle_worker_recovery(self, worker: int) -> None:
         self.down_workers.discard(worker)
-        notice = WorkerUp(worker=worker)
+        self.suspected.discard(worker)
+        self.last_heard[worker] = self.sim.now
+        self.view += 1
+        notice = WorkerUp(worker=worker, view=self.view)
         for other in range(self.num_workers):
             if other != worker and other not in self.down_workers:
                 self.cluster.network.send(
                     self.endpoint, other, notice.size_bytes(), notice
                 )
+        if self.on_worker_readmitted is not None:
+            self.on_worker_readmitted(worker)
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -150,11 +269,32 @@ class Master:
 
     def _on_message(self, message) -> None:
         payload = message.payload
+        if isinstance(payload, Heartbeat):
+            self._on_heartbeat(payload.worker, payload.incarnation)
+            return
+        sender = getattr(payload, "worker", message.src)
+        if sender in self.down_workers:
+            # a stale message from a worker we declared dead — e.g. one
+            # that was in flight at the kill, or from a falsely-suspected
+            # survivor behind a partition.  Mid-recovery these used to
+            # raise; now they are dropped and counted (only a heartbeat
+            # re-admits a down worker).
+            self.stale_messages_dropped += 1
+            return
+        if 0 <= message.src < self.num_workers:
+            # any traffic is a liveness signal — the paper's master
+            # infers death from *missing progress reports*, not only
+            # from dedicated heartbeats
+            self.last_heard[message.src] = self.sim.now
         if isinstance(payload, ProgressReport):
             self.progress_table[payload.worker] = payload
         elif isinstance(payload, AggReport):
             self.agg_partials[payload.worker] = payload.partial
         elif isinstance(payload, StealRequest):
             self._handle_steal_request(payload)
+        elif self.controller.finished:
+            # stragglers delivered after the job completed (duplicates,
+            # reordered copies) are expected under chaos — drop, count
+            self.unknown_messages_dropped += 1
         else:
             raise TypeError(f"master cannot handle {type(payload).__name__}")

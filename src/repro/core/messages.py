@@ -15,15 +15,21 @@ from typing import Any, Dict, List, Tuple
 from repro.core.task import Task
 from repro.graph.graph import VertexData
 
-_HEADER = 16  # framing bytes per message
+_HEADER = 16  # framing bytes per message (incl. sequence-number slot)
 
 
 @dataclass
 class PullRequest:
-    """Candidate retriever → remote worker: fetch these vertices."""
+    """Candidate retriever → remote worker: fetch these vertices.
+
+    ``seq`` identifies the RPC so retransmitted requests can be matched
+    to (possibly duplicated) responses; -1 marks the legacy fault-free
+    path where no matching is needed.
+    """
 
     requester: int
     vids: Tuple[int, ...]
+    seq: int = -1
 
     def size_bytes(self) -> int:
         return _HEADER + 8 * len(self.vids)
@@ -31,9 +37,14 @@ class PullRequest:
 
 @dataclass
 class PullResponse:
-    """Remote worker → requester: the pulled vertex data."""
+    """Remote worker → requester: the pulled vertex data.
+
+    Echoes the request's ``seq`` so the requester can suppress
+    duplicate deliveries (at-least-once → effectively-once).
+    """
 
     vertices: Tuple[VertexData, ...]
+    seq: int = -1
 
     def size_bytes(self) -> int:
         return _HEADER + sum(v.estimate_size() for v in self.vertices)
@@ -99,13 +110,30 @@ class MigrateCommand:
 
 @dataclass
 class TaskMigration:
-    """Loaded worker → idle worker: the migrated tasks themselves."""
+    """Loaded worker → idle worker: the migrated tasks themselves.
+
+    ``seq`` lets the receiver deduplicate retransmissions: applying the
+    same migration twice would double-run its tasks and corrupt the
+    global live-task count.
+    """
 
     source: int
     tasks: List[Task] = field(default_factory=list)
+    seq: int = -1
 
     def size_bytes(self) -> int:
         return _HEADER + sum(int(t.estimate_size()) for t in self.tasks)
+
+
+@dataclass
+class MigrationAck:
+    """Migration destination → source: tasks received; stop resending."""
+
+    worker: int
+    seq: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 16
 
 
 @dataclass
@@ -130,9 +158,16 @@ class CheckpointCommand:
 
 @dataclass
 class WorkerDown:
-    """Master → workers: this worker is unreachable; park its pulls."""
+    """Master → workers: this worker is unreachable; park its pulls.
+
+    ``view`` is the master's membership version at the time of the
+    change: receivers discard notices older than the latest view they
+    applied, so a reordered stale notice cannot resurrect (or re-bury)
+    a worker.  -1 marks the legacy direct path with no versioning.
+    """
 
     worker: int
+    view: int = -1
 
     def size_bytes(self) -> int:
         return _HEADER + 8
@@ -143,6 +178,43 @@ class WorkerUp:
     """Master → workers: recovered; re-issue parked pulls."""
 
     worker: int
+    view: int = -1
 
     def size_bytes(self) -> int:
         return _HEADER + 8
+
+
+@dataclass
+class MembershipView:
+    """Master → workers: the full down-set, periodically re-broadcast.
+
+    Individual ``WorkerDown``/``WorkerUp`` notices ride an unreliable
+    fabric — any of them can be lost.  The monitor therefore gossips
+    its complete membership view every heartbeat interval; receivers
+    reconcile against it, so a lost notice heals within one tick
+    instead of wedging a worker forever.
+    """
+
+    down: Tuple[int, ...]
+    view: int
+
+    def size_bytes(self) -> int:
+        return _HEADER + 8 + 8 * len(self.down)
+
+
+@dataclass
+class Heartbeat:
+    """Worker → master: I am alive (§7's liveness signal).
+
+    The master's failure monitor declares a worker suspected, then
+    confirmed dead, from heartbeat silence alone — detection is a real
+    protocol, not an oracle callback.  ``incarnation`` increments on
+    every reboot so the master can detect a crash-and-fast-recovery it
+    never saw as heartbeat silence (the classic amnesia window).
+    """
+
+    worker: int
+    incarnation: int = 0
+
+    def size_bytes(self) -> int:
+        return _HEADER + 12

@@ -31,6 +31,14 @@ class TaskEvent(enum.Enum):
     MIGRATED_OUT = "migrated_out"
     MIGRATED_IN = "migrated_in"
     FINISHED = "finished"
+    # -- fault-tolerance lifecycle (§7): worker-level events, emitted
+    # with task_id = -1 so recovery timelines interleave with task
+    # events in the same log --------------------------------------------
+    WORKER_FAILED = "worker_failed"  # the node physically died
+    WORKER_SUSPECTED = "worker_suspected"  # heartbeat silence > suspect_timeout
+    WORKER_CONFIRMED_DOWN = "worker_confirmed_down"  # silence > 2x; recovery starts
+    WORKER_RECOVERED = "worker_recovered"  # re-admitted by the master
+    RPC_RETRY = "rpc_retry"  # a pull timed out and was retransmitted
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ blocks, which is exactly the overlap Figure 6 shows.
 from __future__ import annotations
 
 import copy
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -28,7 +29,10 @@ from repro.core.messages import (
     AggBroadcast,
     AggReport,
     CheckpointCommand,
+    Heartbeat,
+    MembershipView,
     MigrateCommand,
+    MigrationAck,
     NoTask,
     ProgressReport,
     PullRequest,
@@ -56,6 +60,26 @@ class _PendingPull:
 
 
 @dataclass
+class _PendingRpc:
+    """An outstanding pull RPC awaiting its (seq-matched) response."""
+
+    owner: int
+    vids: Tuple[int, ...]
+    attempts: int = 0
+    timer: Any = None  # sim Event for the retransmit timeout
+
+
+@dataclass
+class _PendingMigration:
+    """An unacked outbound TaskMigration, retransmitted until acked."""
+
+    dest: int
+    migration: TaskMigration
+    attempts: int = 0
+    timer: Any = None
+
+
+@dataclass
 class WorkerStats:
     """Counters reported in benchmark tables and tests."""
 
@@ -69,6 +93,14 @@ class WorkerStats:
     re_pulls: int = 0
     steal_requests: int = 0
     checkpoints: int = 0
+    # -- degraded-mode protocol counters (all zero on fault-free runs) --
+    heartbeats_sent: int = 0
+    rpc_retries: int = 0
+    rpc_backoff_cycles: int = 0
+    duplicate_responses_dropped: int = 0
+    stale_responses_dropped: int = 0
+    duplicate_migrations_dropped: int = 0
+    migration_retransmits: int = 0
 
 
 class SimWorker:
@@ -139,6 +171,25 @@ class SimWorker:
         self._seeding_done = False
         self.hdfs = None  # set by GMinerJob (checkpoint target)
         self.trace: TraceLog = NullTraceLog()  # replaced by GMinerJob
+
+        # -- degraded-mode protocol state (§7) --------------------------
+        # Dormant unless a failure plan is armed: fault-free runs issue
+        # no heartbeats, start no RPC timers and track no dedup state,
+        # so they stay byte-identical to a build without the fault
+        # layer.  ``incarnation`` counts reboots and rides on every
+        # heartbeat so the master can detect crashes it never observed
+        # as silence.
+        self.faults_enabled = False
+        self.incarnation = 0
+        self._rpc_rng: Optional[random.Random] = None
+        self._next_seq = 0
+        self._pending_rpcs: Dict[int, _PendingRpc] = {}
+        self._completed_seqs: Set[int] = set()
+        self._pending_migrations: Dict[int, _PendingMigration] = {}
+        self._seen_migrations: Set[Tuple[int, int]] = set()
+        # latest membership view applied; stale (reordered/duplicated)
+        # WorkerDown/WorkerUp notices carry an older view and are dropped
+        self._membership_view = -1
 
         cluster.network.register_handler(worker_id, self._on_message)
 
@@ -337,13 +388,112 @@ class SimWorker:
             self._send_pull(owner, vids)
 
     def _send_pull(self, owner: int, vids: List[int]) -> None:
-        request = PullRequest(requester=self.worker_id, vids=tuple(sorted(vids)))
+        seq = self._next_seq
+        self._next_seq += 1
+        request = PullRequest(
+            requester=self.worker_id, vids=tuple(sorted(vids)), seq=seq
+        )
         self.stats.pulls_sent += 1
+        if self.faults_enabled:
+            pending = _PendingRpc(owner=owner, vids=request.vids)
+            self._pending_rpcs[seq] = pending
+            pending.timer = self.sim.schedule(
+                self._rpc_delay(0), lambda: self._on_rpc_timeout(seq)
+            )
         self.cluster.network.send(
             self.worker_id, owner, request.size_bytes(), request
         )
 
+    # ------------------------------------------------------------------
+    # RPC robustness (§7): timeout, seeded backoff, dedup
+    # ------------------------------------------------------------------
+
+    def enable_fault_tolerance(self, seed: int = 0) -> None:
+        """Arm the degraded-mode protocol: heartbeats to the master,
+        per-pull retransmit timers and duplicate suppression.  Called by
+        :class:`GMinerJob` exactly when a failure plan exists, keeping
+        fault-free runs byte-identical to the legacy path."""
+        self.faults_enabled = True
+        self._rpc_rng = random.Random(
+            1_000_003 * (seed + 1) + 7_919 * (self.worker_id + 1)
+        )
+        self._arm_heartbeat()
+
+    def _arm_heartbeat(self) -> None:
+        interval = self.config.heartbeat_interval
+
+        def tick() -> None:
+            if self.controller.finished:
+                return
+            if self.node.alive:
+                beat = Heartbeat(
+                    worker=self.worker_id, incarnation=self.incarnation
+                )
+                self.stats.heartbeats_sent += 1
+                self.cluster.network.send(
+                    self.worker_id, self.master_endpoint, beat.size_bytes(), beat
+                )
+            self.sim.schedule(interval, tick)
+
+        self.sim.schedule(interval, tick)
+
+    def _rpc_delay(self, attempt: int) -> float:
+        """Exponential backoff with seeded jitter; the exponent is
+        capped at ``rpc_max_retries`` so cool-down cycles cannot grow
+        without bound."""
+        exponent = min(attempt, self.config.rpc_max_retries)
+        base = self.config.rpc_timeout * (2.0 ** exponent)
+        return base * (1.0 + 0.25 * self._rpc_rng.random())
+
+    def _on_rpc_timeout(self, seq: int) -> None:
+        pending = self._pending_rpcs.get(seq)
+        if pending is None or not self.node.alive or self.controller.finished:
+            return
+        if pending.owner in self.down_workers:
+            # the master declared the owner dead after this pull went
+            # out: its vids are parked (``on_worker_down``) and will be
+            # re-issued as a fresh RPC on ``WorkerUp``
+            del self._pending_rpcs[seq]
+            return
+        pending.attempts += 1
+        if pending.attempts > self.config.rpc_max_retries:
+            # cycle exhausted.  Abandoning the pull would strand its
+            # tasks forever, so instead rest for one maximum-backoff
+            # period and start a fresh cycle.
+            self.stats.rpc_backoff_cycles += 1
+            pending.attempts = 0
+            pending.timer = self.sim.schedule(
+                self._rpc_delay(self.config.rpc_max_retries),
+                lambda: self._on_rpc_timeout(seq),
+            )
+            return
+        self.stats.rpc_retries += 1
+        self._emit(-1, TaskEvent.RPC_RETRY, detail=float(pending.owner))
+        request = PullRequest(
+            requester=self.worker_id, vids=pending.vids, seq=seq
+        )
+        self.cluster.network.send(
+            self.worker_id, pending.owner, request.size_bytes(), request
+        )
+        pending.timer = self.sim.schedule(
+            self._rpc_delay(pending.attempts), lambda: self._on_rpc_timeout(seq)
+        )
+
     def _on_pull_response(self, response: PullResponse) -> None:
+        if self.faults_enabled:
+            if response.seq in self._completed_seqs:
+                # at-least-once delivery: a duplicated or retransmitted
+                # response for an RPC we already consumed
+                self.stats.duplicate_responses_dropped += 1
+                return
+            pending = self._pending_rpcs.pop(response.seq, None)
+            if pending is None:
+                # response to an RPC cancelled by WorkerDown/failure
+                self.stats.stale_responses_dropped += 1
+                return
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self._completed_seqs.add(response.seq)
         ready: List[Task] = []
         for data in response.vertices:
             self.stats.vertices_pulled += 1
@@ -547,17 +697,94 @@ class SimWorker:
             self.stats.tasks_migrated_out += 1
             self._emit(task.task_id, TaskEvent.MIGRATED_OUT, detail=dest)
             self.sent_tasks.setdefault(dest, []).append(copy.deepcopy(task))
-        migration = TaskMigration(source=self.worker_id, tasks=tasks)
+        seq = self._next_seq
+        self._next_seq += 1
+        migration = TaskMigration(source=self.worker_id, tasks=tasks, seq=seq)
+        if self.faults_enabled:
+            # explicit in-flight accounting: the tasks leave this
+            # worker's responsibility now and re-enter the live count
+            # when (an incarnation of) the migration is applied.  The
+            # recovery hold keeps the job from finishing while they are
+            # on the wire.
+            self.controller.tasks_lost(len(tasks))
+            self.controller.begin_recovery()
+            pending = _PendingMigration(dest=dest, migration=migration)
+            self._pending_migrations[seq] = pending
+            pending.timer = self.sim.schedule(
+                self._rpc_delay(1), lambda: self._on_migration_timeout(seq)
+            )
         self.cluster.network.send(
             self.worker_id, dest, migration.size_bytes(), migration
         )
 
+    def _on_migration_timeout(self, seq: int) -> None:
+        pending = self._pending_migrations.get(seq)
+        if pending is None or not self.node.alive:
+            return
+        if pending.dest in self.down_workers:
+            # the destination was declared down under us; the copies are
+            # covered by ``sent_tasks`` re-injection, so settle the
+            # migration here (normally ``on_worker_down`` already did)
+            self._cancel_pending_migrations_to(pending.dest)
+            return
+        pending.attempts += 1
+        if pending.attempts > self.config.rpc_max_retries:
+            self.stats.rpc_backoff_cycles += 1
+            pending.attempts = 0
+        else:
+            self.stats.migration_retransmits += 1
+            self._emit(-1, TaskEvent.RPC_RETRY, detail=float(pending.dest))
+            migration = pending.migration
+            self.cluster.network.send(
+                self.worker_id, pending.dest, migration.size_bytes(), migration
+            )
+        pending.timer = self.sim.schedule(
+            self._rpc_delay(max(pending.attempts, 1)),
+            lambda: self._on_migration_timeout(seq),
+        )
+
+    def _on_migration_ack(self, ack: MigrationAck) -> None:
+        pending = self._pending_migrations.pop(ack.seq, None)
+        if pending is None:
+            return  # ack retransmitted for a migration already settled
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.controller.end_recovery()
+
+    def _cancel_pending_migrations_to(self, dest: int) -> None:
+        """The destination was declared down: stop retransmitting.  The
+        in-flight copies are covered by ``sent_tasks`` re-injection."""
+        for seq, pending in list(self._pending_migrations.items()):
+            if pending.dest != dest:
+                continue
+            if pending.timer is not None:
+                pending.timer.cancel()
+            del self._pending_migrations[seq]
+            self.controller.end_recovery()
+
     def _on_migration(self, migration: TaskMigration) -> None:
         self._steal_pending = False
+        if self.faults_enabled:
+            # always (re-)ack — the previous ack may have been lost
+            ack = MigrationAck(worker=self.worker_id, seq=migration.seq)
+            self.cluster.network.send(
+                self.worker_id, migration.source, ack.size_bytes(), ack
+            )
+            key = (migration.source, migration.seq)
+            if key in self._seen_migrations:
+                # a duplicated or retransmitted delivery: applying it
+                # twice would double-run the tasks and corrupt the
+                # global live count
+                self.stats.duplicate_migrations_dropped += 1
+                return
+            self._seen_migrations.add(key)
         for task in migration.tasks:
             task.owner_worker = self.worker_id
             self.stats.tasks_migrated_in += 1
             self._emit(task.task_id, TaskEvent.MIGRATED_IN, detail=migration.source)
+            if self.faults_enabled:
+                # pairs with the sender's ``tasks_lost`` at ship time
+                self.controller.task_created()
             self.live_tasks[task.task_id] = task
             self._account_task(task)
             task.status = TaskStatus.INACTIVE
@@ -614,14 +841,32 @@ class SimWorker:
     # ------------------------------------------------------------------
 
     def take_checkpoint(self, hdfs, epoch: int) -> None:
-        """Snapshot live tasks + results + aggregator partial to HDFS."""
-        if not self.node.alive:
+        """Snapshot live tasks + results + aggregator partial to HDFS.
+
+        Skipped while seeding is still running: a mid-seeding snapshot
+        is not a consistent state (it records no scan position), and
+        restoring it would silently drop every task seeded after it.
+        With no checkpoint at all, recovery re-seeds from scratch, which
+        is exact.
+        """
+        if not self.node.alive or not self._seeding_done:
             return
         self._flush_buffer(force=True)
+        tasks = [copy.deepcopy(t) for t in self.live_tasks.values()]
+        # sender-side logging: unacked outbound migrations are still
+        # this worker's responsibility — without them, a crash after a
+        # lost migration message would lose the tasks forever
+        for pending in self._pending_migrations.values():
+            tasks.extend(copy.deepcopy(t) for t in pending.migration.tasks)
         snapshot = {
-            "tasks": [copy.deepcopy(t) for t in self.live_tasks.values()],
+            "tasks": tasks,
             "results": dict(self.results),
             "agg_partial": copy.deepcopy(self.agg.local_partial) if self.agg else None,
+            # the migration dedup ledger is durable state: it must stay
+            # consistent with the task snapshot, else a retransmission
+            # arriving after a restore would re-apply tasks the snapshot
+            # already contains (double-count), or be wrongly suppressed
+            "seen_migrations": set(self._seen_migrations),
         }
         size = sum(t.estimate_size() for t in self.live_tasks.values()) + 64 * (
             len(self.results) + 1
@@ -636,6 +881,12 @@ class SimWorker:
         of live tasks lost (the controller removes them from the global
         count until recovery restores the checkpoint)."""
         lost = len(self.live_tasks)
+        # until recover() completes, this worker has no consistent state:
+        # clearing the seeding flag blocks the checkpoint path, else a
+        # CheckpointCommand arriving between the physical reboot and the
+        # logical restore would snapshot the post-crash empty state and
+        # shadow the real recovery source (re-seed or a prior snapshot)
+        self._seeding_done = False
         self.live_tasks.clear()
         self.cmq.clear()
         self.inflight.clear()
@@ -646,11 +897,31 @@ class SimWorker:
             cache.drop_all()
         self.results.clear()
         self._steal_pending = False
+        # volatile protocol state dies with the node.  The migration
+        # dedup ledger is deliberately cleared too — amnesia is real,
+        # and a retransmission arriving post-reboot must re-apply since
+        # the first application was wiped.
+        for pending in self._pending_rpcs.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending_rpcs.clear()
+        self._completed_seqs.clear()
+        for pending in self._pending_migrations.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            # release the in-flight hold: the tasks are either delivered
+            # anyway (the message survives the sender), restored from
+            # this worker's checkpoint (it snapshots unacked outbound
+            # migrations), or re-run at the destination
+            self.controller.end_recovery()
+        self._pending_migrations.clear()
+        self._seen_migrations.clear()
         return lost
 
     def recover(self, hdfs, recovery_latency_cb: Optional[Callable[[], None]] = None) -> int:
         """Reload partition + checkpoint and resume.  Returns the number
         of tasks restored into the live set."""
+        self.incarnation += 1
         total = sum(v.estimate_size() for v in self.vertex_table.values())
         self._alloc(total, "vertex table reload")
         if self._checkpoint is None:
@@ -664,6 +935,7 @@ class SimWorker:
         snapshot = self._checkpoint or {"tasks": [], "results": {}, "agg_partial": None}
         restored = 0
         self.results = dict(snapshot["results"])
+        self._seen_migrations = set(snapshot.get("seen_migrations", ()))
         if self.agg is not None and snapshot["agg_partial"] is not None:
             self.agg.local_partial = copy.deepcopy(snapshot["agg_partial"])
         for task in snapshot["tasks"]:
@@ -680,10 +952,41 @@ class SimWorker:
             recovery_latency_cb()
         return restored
 
+    def _apply_membership(self, view: int, down: Set[int]) -> None:
+        """Reconcile against a versioned membership view from the master.
+
+        Views are totally ordered; anything at or below the last applied
+        view is a duplicated or reordered straggler and is ignored, so a
+        stale ``WorkerDown`` can never re-bury a recovered peer.  The
+        reconcile itself is a diff, which makes lost individual notices
+        harmless: the next periodic ``MembershipView`` carries the same
+        information.
+        """
+        if view <= self._membership_view:
+            return
+        self._membership_view = view
+        down = set(down)
+        down.discard(self.worker_id)  # never act on our own obituary
+        for worker in sorted(down - self.down_workers):
+            self.on_worker_down(worker)
+        for worker in sorted(self.down_workers - down):
+            self.on_worker_up(worker)
+
     def on_worker_down(self, dead: int) -> None:
         """Park pulls aimed at a dead worker until it comes back, and
         re-inject any task this worker migrated to the casualty."""
+        if dead in self.down_workers:
+            return  # duplicated notice; the transition already ran
         self.down_workers.add(dead)
+        # cancel outstanding RPCs to the casualty: their vids park below
+        # and re-issue as fresh RPCs on WorkerUp
+        for seq, pending in list(self._pending_rpcs.items()):
+            if pending.owner != dead:
+                continue
+            if pending.timer is not None:
+                pending.timer.cancel()
+            del self._pending_rpcs[seq]
+        self._cancel_pending_migrations_to(dead)
         for vid, waiters in list(self.inflight.items()):
             if self.owner_of(vid) != dead:
                 continue
@@ -704,6 +1007,8 @@ class SimWorker:
 
     def on_worker_up(self, recovered: int) -> None:
         """Re-issue pulls that were parked while ``recovered`` was down."""
+        if recovered not in self.down_workers:
+            return  # duplicated notice; the transition already ran
         self.down_workers.discard(recovered)
         reissue: Set[int] = set()
         for pending in self.cmq.values():
@@ -726,7 +1031,7 @@ class SimWorker:
                 for vid in payload.vids
                 if vid in self.vertex_table
             )
-            response = PullResponse(vertices=vertices)
+            response = PullResponse(vertices=vertices, seq=payload.seq)
             self.cluster.network.send(
                 self.worker_id, payload.requester, response.size_bytes(), response
             )
@@ -734,6 +1039,8 @@ class SimWorker:
             self._on_pull_response(payload)
         elif isinstance(payload, TaskMigration):
             self._on_migration(payload)
+        elif isinstance(payload, MigrationAck):
+            self._on_migration_ack(payload)
         elif isinstance(payload, NoTask):
             self._on_no_task()
         elif isinstance(payload, AggBroadcast):
@@ -745,9 +1052,21 @@ class SimWorker:
             if self.hdfs is not None:
                 self.take_checkpoint(self.hdfs, payload.epoch)
         elif isinstance(payload, WorkerDown):
-            self.on_worker_down(payload.worker)
+            if payload.view >= 0:
+                self._apply_membership(
+                    payload.view, self.down_workers | {payload.worker}
+                )
+            else:
+                self.on_worker_down(payload.worker)
         elif isinstance(payload, WorkerUp):
-            self.on_worker_up(payload.worker)
+            if payload.view >= 0:
+                self._apply_membership(
+                    payload.view, self.down_workers - {payload.worker}
+                )
+            else:
+                self.on_worker_up(payload.worker)
+        elif isinstance(payload, MembershipView):
+            self._apply_membership(payload.view, set(payload.down))
         else:
             raise TypeError(f"worker cannot handle {type(payload).__name__}")
 

@@ -1,0 +1,261 @@
+"""Unit tests for the degraded-mode protocol (paper §7).
+
+Heartbeat suspect→confirm detection latency, RPC retry/backoff
+determinism, duplicate-response suppression, the master's hardened
+message dispatch, and the seeded link-fault model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps import TriangleCountingApp
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.core.master import Master
+from repro.core.messages import Heartbeat, ProgressReport, StealRequest
+from repro.core.tracing import TaskEvent
+from repro.graph.algorithms import triangle_count_exact
+from repro.sim.cluster import ClusterSpec, build_cluster
+from repro.sim.failures import FailurePlan
+from repro.sim.network import LinkFaultModel, LinkFaultSpec
+
+
+def chaos_config(**overrides):
+    defaults = dict(
+        cluster=ClusterSpec(num_nodes=4, cores_per_node=2),
+        checkpoint_interval=0.02,
+        time_limit=120.0,
+    )
+    defaults.update(overrides)
+    return GMinerConfig(**defaults)
+
+
+class TestHeartbeatDetection:
+    def test_detection_latency_bounds(self, small_social_graph):
+        """Silence is confirmed within [2*suspect, 2*suspect + 2 ticks]
+        of the kill, preceded by a suspected phase after one timeout."""
+        config = chaos_config(enable_tracing=True)
+        kill_at = 0.02
+        plan = FailurePlan().kill(node_id=1, at_time=kill_at, recovery_delay=0.5)
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+
+        suspected = [
+            r for r in result.trace
+            if r.event is TaskEvent.WORKER_SUSPECTED and r.worker == 1
+        ]
+        confirmed = [
+            r for r in result.trace
+            if r.event is TaskEvent.WORKER_CONFIRMED_DOWN and r.worker == 1
+        ]
+        assert suspected and confirmed
+        tick = config.heartbeat_interval
+        assert kill_at + config.suspect_timeout <= suspected[0].time
+        assert suspected[0].time <= kill_at + config.suspect_timeout + 2 * tick
+        assert kill_at + 2 * config.suspect_timeout <= confirmed[0].time
+        assert confirmed[0].time <= kill_at + 2 * config.suspect_timeout + 2 * tick
+        assert suspected[0].time < confirmed[0].time
+
+    def test_fast_reboot_detected_via_incarnation(self, small_social_graph):
+        """A worker that reboots inside the silence window is still
+        detected (the incarnation bump), so peers re-spread its state."""
+        config = chaos_config()
+        # recovery well inside the confirm window (2 * 0.08 = 0.16)
+        plan = FailurePlan().kill(node_id=1, at_time=0.02, recovery_delay=0.05)
+        job = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        )
+        result = job.run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.stats["failures_detected"] == 1
+        assert result.stats["readmissions"] == 1
+        assert job.master.incarnations[1] == 1
+
+    def test_oracle_mode_still_available(self, small_social_graph):
+        """failure_detection='oracle' keeps the legacy direct wiring."""
+        config = chaos_config(failure_detection="oracle")
+        plan = FailurePlan().kill(node_id=2, at_time=0.02, recovery_delay=0.05)
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        # no heartbeat monitor ran, so nothing was "detected"
+        assert result.stats["failures_detected"] == 0
+        assert result.stats["heartbeats_sent"] > 0  # workers still beat
+
+    def test_heartbeats_absent_without_failure_plan(self, small_social_graph):
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, chaos_config()
+        ).run()
+        assert result.stats["heartbeats_sent"] == 0
+        assert result.stats["failures_detected"] == 0
+
+
+class TestRpcRetry:
+    def plan(self):
+        # a healed symmetric partition between workers 0 and 1 forces
+        # pull RPCs across it to time out and retry
+        return (
+            FailurePlan(seed=3)
+            .partition(src=0, dst=1, start=0.012, end=0.05)
+            .partition(src=1, dst=0, start=0.012, end=0.05)
+        )
+
+    def test_retries_recover_lost_pulls(self, small_social_graph):
+        config = chaos_config()
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config,
+            failure_plan=self.plan(),
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.stats["rpc_retries"] > 0
+
+    def test_retry_schedule_is_deterministic(self, small_social_graph):
+        config = chaos_config()
+        runs = [
+            GMinerJob(
+                TriangleCountingApp(), small_social_graph, config,
+                failure_plan=self.plan(),
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].stats["rpc_retries"] == runs[1].stats["rpc_retries"]
+        assert runs[0].total_seconds == runs[1].total_seconds
+        assert runs[0].network_bytes == runs[1].network_bytes
+
+    def test_duplicate_responses_suppressed(self, small_social_graph):
+        config = chaos_config()
+        plan = FailurePlan(seed=11).duplicating(0.5)
+        result = GMinerJob(
+            TriangleCountingApp(), small_social_graph, config, failure_plan=plan
+        ).run()
+        assert result.status is JobStatus.OK
+        assert result.value == triangle_count_exact(small_social_graph)
+        assert result.stats["net_fault_duplicated"] > 0
+        # at least one duplicated copy must have hit the dedup path
+        assert (
+            result.stats["duplicate_responses_dropped"]
+            + result.stats["duplicate_migrations_dropped"]
+            + result.stats["stale_responses_dropped"]
+        ) > 0
+
+
+class _StubController:
+    finished = False
+
+
+def make_master(num_workers: int = 2):
+    spec = ClusterSpec(num_nodes=num_workers, cores_per_node=1)
+    cluster = build_cluster(spec, extra_network_endpoints=1)
+    config = GMinerConfig(cluster=spec)
+    master = Master(
+        cluster=cluster,
+        config=config,
+        num_workers=num_workers,
+        endpoint=num_workers,
+        aggregator=None,
+        controller=_StubController(),
+    )
+    return cluster, master
+
+
+class TestMasterHardening:
+    def test_stale_messages_from_down_workers_dropped(self):
+        cluster, master = make_master()
+        master.down_workers.add(1)
+        report = ProgressReport(
+            worker=1, store_size=3, cmq_size=0, cpq_size=0,
+            busy_cores=0, buffer_size=0, idle=False,
+        )
+        cluster.network.send(1, master.endpoint, report.size_bytes(), report)
+        cluster.sim.run()
+        assert master.stale_messages_dropped == 1
+        assert 1 not in master.progress_table
+
+    def test_unknown_payload_raises_before_finish(self):
+        cluster, master = make_master()
+        cluster.network.send(0, master.endpoint, 16, object())
+        with pytest.raises(TypeError):
+            cluster.sim.run()
+
+    def test_unknown_payload_counted_after_finish(self):
+        cluster, master = make_master()
+        master.controller.finished = True
+        cluster.network.send(0, master.endpoint, 16, object())
+        cluster.sim.run()
+        assert master.unknown_messages_dropped == 1
+
+    def test_heartbeat_from_down_worker_readmits(self):
+        cluster, master = make_master()
+        master.monitoring = True  # as start_failure_monitor() would set
+        master.down_workers.add(1)
+        beat = Heartbeat(worker=1, incarnation=1)
+        cluster.network.send(1, master.endpoint, beat.size_bytes(), beat)
+        cluster.sim.run()
+        assert 1 not in master.down_workers
+        assert master.readmissions == 1
+
+    def test_steal_request_refreshes_liveness(self):
+        cluster, master = make_master()
+        request = StealRequest(worker=0)
+        cluster.sim.schedule(1.0, lambda: cluster.network.send(
+            0, master.endpoint, request.size_bytes(), request
+        ))
+        cluster.sim.run()
+        # delivered after 1.0 + serialisation + latency; any worker
+        # message counts as a liveness signal, not just heartbeats
+        assert master.last_heard[0] >= 1.0
+
+
+class TestLinkFaultModel:
+    def test_same_seed_same_verdicts(self):
+        specs = [LinkFaultSpec(loss=0.3, duplicate=0.2, reorder=0.2)]
+        a = LinkFaultModel(specs, seed=9)
+        b = LinkFaultModel(specs, seed=9)
+        verdicts_a = [
+            (v.drop, v.duplicates, v.extra_delay, v.slow_factor)
+            for v in (a.judge(0, 1, t * 0.01) for t in range(200))
+        ]
+        verdicts_b = [
+            (v.drop, v.duplicates, v.extra_delay, v.slow_factor)
+            for v in (b.judge(0, 1, t * 0.01) for t in range(200))
+        ]
+        assert verdicts_a == verdicts_b
+        assert any(v[0] for v in verdicts_a)  # some drops happened
+        assert any(v[1] for v in verdicts_a)  # some duplicates happened
+
+    def test_partition_is_absolute_and_burns_no_randomness(self):
+        spec = LinkFaultSpec(src=0, dst=1, start=0.0, end=1.0, partition=True)
+        model = LinkFaultModel([spec], seed=0)
+        for t in (0.0, 0.5, 0.999):
+            assert model.judge(0, 1, t).drop
+        assert not model.judge(0, 1, 1.0).drop  # window is half-open
+        assert not model.judge(1, 0, 0.5).drop  # directional
+        assert model.stats()["net_fault_partition_dropped"] == 3
+
+    def test_slow_link_scales_latency(self):
+        spec = LinkFaultSpec(src=2, slow_factor=3.0)
+        model = LinkFaultModel([spec], seed=0)
+        assert model.judge(2, 0, 0.1).slow_factor == 3.0
+        assert model.judge(0, 2, 0.1).slow_factor == 1.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaultSpec(loss=1.5).validate()
+        with pytest.raises(ValueError):
+            LinkFaultSpec(slow_factor=0.5).validate()
+        with pytest.raises(ValueError):
+            LinkFaultSpec(start=0.5, end=0.2).validate()
+        with pytest.raises(ValueError):
+            LinkFaultSpec(start=math.nan).validate()
+        with pytest.raises(ValueError):
+            LinkFaultSpec(src=7).validate(num_nodes=4)
+        LinkFaultSpec(loss=0.5).validate(num_nodes=4)  # sane spec passes

@@ -1,5 +1,7 @@
 """Unit tests for failure injection."""
 
+import math
+
 import pytest
 
 from repro.sim.cluster import ClusterSpec, build_cluster
@@ -50,14 +52,59 @@ def test_network_drops_traffic_to_dead_node(cluster):
     assert got == []
 
 
-def test_double_kill_is_idempotent(cluster):
+def test_double_kill_is_rejected(cluster):
+    # killing a node that is already dead can never trigger — that is a
+    # schedule bug, and validation now rejects it up front
     plan = FailurePlan().kill(1, 1.0).kill(1, 2.0)
+    injector = FailureInjector(cluster, plan)
+    with pytest.raises(ValueError, match="already dead"):
+        injector.arm()
+
+
+def test_rekill_after_recovery_is_allowed(cluster):
+    plan = FailurePlan().kill(1, 1.0, recovery_delay=0.5).kill(1, 2.0)
     injector = FailureInjector(cluster, plan)
     injector.arm()
     cluster.sim.run()
-    assert len(injector.failures_triggered) == 1
+    assert len(injector.failures_triggered) == 2
 
 
 def test_plan_iterates_in_time_order():
     plan = FailurePlan().kill(1, 5.0).kill(2, 1.0)
     assert [e.at_time for e in plan] == [1.0, 5.0]
+
+
+class TestPlanValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FailurePlan().kill(0, -1.0).validate()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FailurePlan().kill(0, math.nan).validate()
+
+    def test_non_positive_recovery_delay_rejected(self):
+        with pytest.raises(ValueError, match="recovery_delay"):
+            FailurePlan().kill(0, 1.0, recovery_delay=0.0).validate()
+        with pytest.raises(ValueError, match="recovery_delay"):
+            FailurePlan().kill(0, 1.0, recovery_delay=math.nan).validate()
+
+    def test_unknown_node_id_rejected_when_cluster_known(self):
+        plan = FailurePlan().kill(9, 1.0)
+        plan.validate()  # without a cluster size the id cannot be checked
+        with pytest.raises(ValueError, match="unknown node id"):
+            plan.validate(num_nodes=4)
+
+    def test_arm_rejects_unknown_node(self, cluster):
+        injector = FailureInjector(cluster, FailurePlan().kill(9, 1.0))
+        with pytest.raises(ValueError, match="unknown node id"):
+            injector.arm()
+
+    def test_link_fault_specs_validated_through_plan(self):
+        with pytest.raises(ValueError):
+            FailurePlan().lossy(1.5).validate()
+
+    def test_kill_inside_dead_window_rejected(self):
+        plan = FailurePlan().kill(1, 1.0, recovery_delay=2.0).kill(1, 2.5)
+        with pytest.raises(ValueError, match="already dead"):
+            plan.validate()
