@@ -7,13 +7,17 @@ numbers that matter are the *simulated* metrics inside the report, not
 the harness wall-clock, and many experiments are minutes-long sweeps.
 
 Every report is echoed to stdout (run with ``-s`` to see it live) and
-saved under ``results/`` so EXPERIMENTS.md can be assembled from the
-exact artefacts the suite produced.
+saved under ``results/`` — both the rendered ``<id>.txt`` and a
+machine-readable ``<id>.json`` sibling — so EXPERIMENTS.md and any
+downstream tooling can be assembled from the exact artefacts the
+suite produced.
 """
 
 from __future__ import annotations
 
 import os
+
+from repro.bench.export import save_report
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
 
@@ -23,5 +27,5 @@ def run_experiment(benchmark, experiment_fn):
     report = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)
     print()
     print(report)
-    report.save(RESULTS_DIR)
+    save_report(report, RESULTS_DIR)
     return report

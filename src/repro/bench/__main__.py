@@ -9,7 +9,11 @@ Run one experiment (or all of them) without pytest::
     python -m repro.bench run all --no-cache   # rebuild every input
 
 Each experiment prints in the paper's format and, with ``-o``, is also
-written to ``<dir>/<id>.txt``.  Independent cells fan out over
+written to ``<dir>/<id>.txt`` plus a machine-readable ``<dir>/<id>.json``.
+``--trace-out``/``--metrics-out`` capture observability artifacts
+(Chrome ``trace_event`` JSON and a metrics snapshot) from the runs;
+since the ambient collector is process-local, these force ``--workers
+1``.  Independent cells fan out over
 ``--workers`` processes (default: every host core) with results in
 deterministic order, so the report *contents* never depend on the
 worker count; generated datasets and partition assignments are reused
@@ -24,6 +28,7 @@ import sys
 import time
 
 from repro.bench import experiments
+from repro.bench.export import save_report
 from repro.parallel import BuildCache, DEFAULT_CACHE_DIR, default_workers, parallel_context
 
 
@@ -38,7 +43,7 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(names, out_dir, workers, cache) -> int:
+def cmd_run(names, out_dir, workers, cache, trace_out=None, metrics_out=None) -> int:
     registry = _registry()
     if names == ["all"]:
         names = list(registry)
@@ -47,24 +52,46 @@ def cmd_run(names, out_dir, workers, cache) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(registry)}", file=sys.stderr)
         return 2
-    for name in names:
-        started = time.time()
-        # one context per experiment: the footer covers exactly this
-        # experiment's cells, while the BuildCache object (and its disk
-        # level) is shared across the whole invocation
-        with parallel_context(workers=workers, cache=cache) as runner:
-            report = registry[name]()
-            report.footer = runner.footer_summary()
-        print(report)
-        stats = runner.cache_stats()
-        hits, misses = stats["hits"], stats["misses"]
-        print(
-            f"[{name} completed in {time.time() - started:.1f}s wall clock, "
-            f"workers={runner.workers}, build cache: {hits} hits / {misses} misses]"
-        )
-        print()
-        if out_dir:
-            report.save(out_dir)
+    collector = None
+    if trace_out or metrics_out:
+        from repro.obs import ObsCollector, collecting
+
+        # the ambient collector is process-local: pool workers would
+        # run their jobs invisibly, so observability capture is serial
+        if workers != 1:
+            print("[--trace-out/--metrics-out force --workers 1]", file=sys.stderr)
+            workers = 1
+        collector = ObsCollector()
+        capture = collecting(collector)
+    else:
+        from contextlib import nullcontext
+
+        capture = nullcontext()
+    with capture:
+        for name in names:
+            started = time.time()
+            # one context per experiment: the footer covers exactly this
+            # experiment's cells, while the BuildCache object (and its disk
+            # level) is shared across the whole invocation
+            with parallel_context(workers=workers, cache=cache) as runner:
+                report = registry[name]()
+                report.footer = runner.footer_summary()
+            print(report)
+            stats = runner.cache_stats()
+            hits, misses = stats["hits"], stats["misses"]
+            print(
+                f"[{name} completed in {time.time() - started:.1f}s wall clock, "
+                f"workers={runner.workers}, build cache: {hits} hits / {misses} misses]"
+            )
+            print()
+            if out_dir:
+                save_report(report, out_dir)
+    if collector is not None:
+        if trace_out:
+            print(f"[trace: {collector.write_chrome_trace(trace_out)} "
+                  f"({len(collector)} runs)]")
+        if metrics_out:
+            print(f"[metrics: {collector.write_metrics_json(metrics_out)}]")
     return 0
 
 
@@ -91,12 +118,23 @@ def main(argv=None) -> int:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help="build cache directory (default: %(default)s)",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON (load in Perfetto) covering "
+        "every job run; forces --workers 1",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON metrics snapshot covering every job run; "
+        "forces --workers 1",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     workers = args.workers if args.workers is not None else default_workers()
     cache = None if args.no_cache else BuildCache(directory=args.cache_dir)
-    return cmd_run(args.names, args.out_dir, workers, cache)
+    return cmd_run(args.names, args.out_dir, workers, cache,
+                   trace_out=args.trace_out, metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

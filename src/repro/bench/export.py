@@ -46,3 +46,19 @@ def save_json(record: Dict[str, Any], path: str) -> str:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def save_report(report: ExperimentReport, directory: str = "results") -> Dict[str, str]:
+    """Archive a report as both ``<id>.txt`` and ``<id>.json``.
+
+    The text file is the human-readable rendering EXPERIMENTS.md is
+    assembled from; the JSON sibling carries the same experiment as
+    structured data (:meth:`ExperimentReport.to_dict`).  Neither
+    includes the host-accounting footer, so artifacts stay
+    byte-identical across worker counts and cache states.  Returns the
+    paths written, keyed by format.
+    """
+    txt_path = report.save(directory)
+    json_path = os.path.join(directory, f"{report.experiment_id}.json")
+    save_json(report.to_dict(), json_path)
+    return {"txt": txt_path, "json": json_path}

@@ -102,6 +102,14 @@ class GMinerConfig:
     # -- observability ------------------------------------------------------
     enable_tracing: bool = False  # task-lifecycle trace (repro.core.tracing)
     trace_capacity: int = 200_000  # max trace records before dropping
+    #: Attach a :class:`repro.obs.ObsSession` to the job: metrics
+    #: registry + span tracer + exporters (``result.obs`` carries the
+    #: finalized snapshot).  Strictly read-only over the simulation —
+    #: enabling it cannot change any simulated quantity — and entirely
+    #: off (no allocations on the hot path) when False, unless an
+    #: ambient :class:`repro.obs.ObsCollector` is installed.
+    enable_obs: bool = False
+    obs_span_capacity: int = 500_000  # max spans before dropping
 
     # -- job limits ------------------------------------------------------------
     time_limit: Optional[float] = None  # simulated seconds; None = unlimited
@@ -195,6 +203,12 @@ class GMinerConfig:
             raise ValueError(
                 f"time_limit must be a positive number of simulated seconds, "
                 f"or None for no limit; got {self.time_limit!r}"
+            )
+        if self.obs_span_capacity < 0:
+            raise ValueError(
+                f"obs_span_capacity cannot be negative; got "
+                f"{self.obs_span_capacity!r} (0 keeps metrics but records "
+                "no spans)"
             )
         if self.store_block_tasks < 1:
             raise ValueError("store_block_tasks must be >= 1")

@@ -23,6 +23,7 @@ from repro.core.master import Master
 from repro.core.tracing import NullTraceLog, TaskEvent, TraceLog
 from repro.core.worker import SimWorker
 from repro.graph.graph import Graph, VertexData
+from repro.obs import MASTER_TID, ObsSession, current_collector
 from repro.partitioning import BDGPartitioner, HashPartitioner, PartitionAssignment
 from repro.sim.cluster import Cluster, build_cluster
 from repro.sim.engine import Simulator
@@ -118,6 +119,9 @@ class JobResult:
     timeline: Optional[UtilizationTimeline] = None
     mining_window: Tuple[float, float] = (0.0, 0.0)
     trace: Optional[TraceLog] = None
+    #: Finalized ``repro.obs`` snapshot (schema ``repro.obs.run/1``)
+    #: when the job ran with observability on; ``None`` otherwise.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -170,6 +174,15 @@ class JobResult:
             out["utilization"] = {"times": times, **series}
         if self.trace is not None:
             out["trace_summary"] = self.trace.summary()
+        if self.obs is not None:
+            # metrics travel (they are small and deterministic); the
+            # full span list stays behind ``result.obs`` itself
+            out["obs"] = {
+                "schema": self.obs.get("schema"),
+                "metrics": self.obs.get("metrics"),
+                "num_spans": len(self.obs.get("spans", ())),
+                "spans_dropped": self.obs.get("spans_dropped", 0),
+            }
         return out
 
 
@@ -207,6 +220,7 @@ class GMinerJob:
         self.master: Optional[Master] = None
         self.cluster: Optional[Cluster] = None
         self.assignment: Optional[PartitionAssignment] = None
+        self.obs: Optional[ObsSession] = None
 
     # ------------------------------------------------------------------
 
@@ -269,11 +283,41 @@ class GMinerJob:
             return self._run()
 
     def _run(self) -> JobResult:
+        sim = Simulator()
+        collector = current_collector()
+        obs: Optional[ObsSession] = None
+        if self.config.enable_obs or collector is not None:
+            from repro.core.task import peek_task_id
+
+            obs = ObsSession(
+                clock=lambda: sim.now,
+                name=self.app.name,
+                span_capacity=self.config.obs_span_capacity,
+            )
+            obs.task_base = peek_task_id()
+            sim.obs = obs
+        self.obs = obs
+        if obs is None:
+            return self._run_body(sim)
+        # meter vectorised kernel batches for the duration of the job;
+        # restored unconditionally so a failing run cannot leak the
+        # process-global hook into the next one
+        previous_hook = kernels.set_metering_hook(obs.kernel_batch)
+        try:
+            result = self._run_body(sim)
+        finally:
+            kernels.set_metering_hook(previous_hook)
+        if collector is not None:
+            collector.add_run(result.obs)
+        return result
+
+    def _run_body(self, sim: Simulator) -> JobResult:
         spec = self.config.cluster
         num_workers = spec.num_nodes
-        sim = Simulator()
         cluster = build_cluster(spec, sim, extra_network_endpoints=1)
         self.cluster = cluster
+        if self.obs is not None:
+            cluster.network.obs = self.obs
         master_endpoint = num_workers
         hdfs = SimulatedHDFS(sim)
 
@@ -302,6 +346,8 @@ class GMinerJob:
                 master_endpoint=master_endpoint,
             )
             worker.hdfs = hdfs
+            if self.obs is not None:
+                worker.attach_obs(self.obs)
             workers.append(worker)
         self.workers = workers
 
@@ -325,6 +371,8 @@ class GMinerJob:
         )
         if trace is not None:
             master.trace = trace
+        if self.obs is not None:
+            master.attach_obs(self.obs)
         self.master = master
 
         # distribute partitions (memory charged immediately; the time
@@ -360,7 +408,63 @@ class GMinerJob:
             status, controller, cluster, setup_seconds, partition_seconds
         )
         result.trace = getattr(self, "trace", None)
+        if self.obs is not None:
+            self._finalize_obs(
+                result, controller, cluster, transfer_seconds, partition_seconds
+            )
         return result
+
+    def _finalize_obs(
+        self,
+        result: JobResult,
+        controller: JobController,
+        cluster: Cluster,
+        transfer_seconds: float,
+        partition_seconds: float,
+    ) -> None:
+        """Record job-phase spans and run-level gauges, then freeze the
+        session into ``result.obs``.
+
+        The gauges here are the regression gate's tracked quantities
+        (``repro.obs.compare``): simulated makespan, message count,
+        network bytes, tasks created and charged work units.
+        """
+        obs = self.obs
+        finish = result.total_seconds
+        setup_seconds = result.setup_seconds
+        obs.tracer.complete(
+            "job.partition",
+            cat="job",
+            tid=MASTER_TID,
+            start=min(transfer_seconds, finish),
+            end=min(setup_seconds, finish),
+        )
+        obs.tracer.complete(
+            "job.setup",
+            cat="job",
+            tid=MASTER_TID,
+            start=0.0,
+            end=min(setup_seconds, finish),
+            transfer=transfer_seconds,
+            partition=partition_seconds,
+        )
+        if finish > setup_seconds:
+            obs.tracer.complete(
+                "job.mining", cat="job", tid=MASTER_TID, start=setup_seconds, end=finish
+            )
+        gauge = obs.registry.gauge
+        gauge("job.makespan").set(finish)
+        gauge("job.messages").set(float(cluster.network.messages_sent))
+        gauge("job.network_bytes").set(float(cluster.network.bytes_counter.total))
+        gauge("job.tasks_created").set(float(controller.total_created))
+        gauge("job.work_units").set(
+            float(sum(n.cores.total_work_units for n in cluster.nodes))
+        )
+        gauge("job.peak_memory_bytes").set(float(result.peak_memory_bytes))
+        result.obs = obs.finalize(
+            end=finish,
+            meta={"app": self.app.name, "status": result.status.value},
+        )
 
     # ------------------------------------------------------------------
 
@@ -427,6 +531,8 @@ class GMinerJob:
         # the worker (else completion could race the WorkerUp broadcast
         # and strand re-injected tasks)
         pending_readmit: Dict[int, int] = {}
+        obs = self.obs
+        recovery_spans: Dict[int, Any] = {}
 
         def on_readmitted(worker_id: int) -> None:
             if pending_readmit.get(worker_id, 0) > 0:
@@ -448,6 +554,13 @@ class GMinerJob:
             master.trace.emit(
                 cluster.sim.now, node_id, -1, TaskEvent.WORKER_FAILED
             )
+            if obs is not None:
+                obs.tracer.instant(
+                    "worker.failed", cat="fault", tid=node_id, lost=lost
+                )
+                recovery_spans[node_id] = obs.tracer.begin(
+                    "worker.recovery", cat="fault", tid=node_id
+                )
             if not heartbeat_mode:
                 master.handle_worker_failure(node_id)
 
@@ -471,6 +584,8 @@ class GMinerJob:
                 # runs asynchronously on the cores: hold the job open
                 # until the re-scan has re-created every task
                 if worker._seeding_done:
+                    if obs is not None:
+                        obs.tracer.finish(recovery_spans.pop(node_id, None))
                     controller.end_recovery()
                     if not heartbeat_mode:
                         master.handle_worker_recovery(node_id)

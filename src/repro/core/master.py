@@ -70,7 +70,27 @@ class Master:
         #: (used to release the recovery hold on job completion)
         self.on_worker_readmitted = None
         self.trace: TraceLog = NullTraceLog()  # replaced by GMinerJob
+        #: :class:`repro.obs.ObsSession` when observability is on;
+        #: ``None`` keeps every instrumented site to a single branch.
+        self.obs = None
         cluster.network.register_handler(endpoint, self._on_message)
+
+    def attach_obs(self, obs) -> None:
+        """Wire an :class:`repro.obs.ObsSession` into the master.
+
+        Like the worker hook, strictly read-only over the simulation.
+        """
+        from repro.obs.tracing import MASTER_TID
+
+        self.obs = obs
+        self._obs_tid = MASTER_TID
+        registry = obs.registry
+        self._m_steals = registry.counter("gminer.steals.brokered")
+        self._m_no_task = registry.counter("gminer.steals.no_task")
+        self._m_ckpt_epochs = registry.counter("gminer.checkpoint.epochs")
+        self._m_suspected = registry.counter("gminer.workers.suspected")
+        self._m_confirmed = registry.counter("gminer.failures.detected")
+        self._m_readmitted = registry.counter("gminer.workers.readmitted")
 
     # ------------------------------------------------------------------
     # periodic coordination loops
@@ -100,6 +120,14 @@ class Master:
         if self.controller.finished:
             return
         self.checkpoint_epoch += 1
+        if self.obs is not None:
+            self._m_ckpt_epochs.inc()
+            self.obs.tracer.instant(
+                "checkpoint.epoch",
+                cat="fault",
+                tid=self._obs_tid,
+                epoch=self.checkpoint_epoch,
+            )
         command = CheckpointCommand(epoch=self.checkpoint_epoch)
         for worker in range(self.num_workers):
             if worker not in self.down_workers:
@@ -116,12 +144,16 @@ class Master:
         victim = self._most_loaded_worker(exclude=request.worker)
         if victim is None:
             self.no_task_replies += 1
+            if self.obs is not None:
+                self._m_no_task.inc()
             reply = NoTask(source=-1)
             self.cluster.network.send(
                 self.endpoint, request.worker, reply.size_bytes(), reply
             )
             return
         self.steals_brokered += 1
+        if self.obs is not None:
+            self._m_steals.inc()
         command = MigrateCommand(dest=request.worker, count=self.config.steal_batch)
         self.cluster.network.send(
             self.endpoint, victim, command.size_bytes(), command
@@ -179,6 +211,14 @@ class Master:
                 self.trace.emit(
                     now, worker, -1, TaskEvent.WORKER_CONFIRMED_DOWN, detail=silence
                 )
+                if self.obs is not None:
+                    self._m_confirmed.inc()
+                    self.obs.tracer.instant(
+                        "worker.confirmed_down",
+                        cat="fault",
+                        tid=worker,
+                        silence=silence,
+                    )
                 self.handle_worker_failure(worker)
             elif silence > suspect_after:
                 if worker not in self.suspected:
@@ -187,6 +227,14 @@ class Master:
                     self.trace.emit(
                         now, worker, -1, TaskEvent.WORKER_SUSPECTED, detail=silence
                     )
+                    if self.obs is not None:
+                        self._m_suspected.inc()
+                        self.obs.tracer.instant(
+                            "worker.suspected",
+                            cat="fault",
+                            tid=worker,
+                            silence=silence,
+                        )
             else:
                 self.suspected.discard(worker)
         # gossip the full membership view every tick: any individual
@@ -215,6 +263,11 @@ class Master:
             self.readmissions += 1
             self.incarnations[worker] = incarnation
             self.trace.emit(now, worker, -1, TaskEvent.WORKER_RECOVERED)
+            if self.obs is not None:
+                self._m_readmitted.inc()
+                self.obs.tracer.instant(
+                    "worker.readmitted", cat="fault", tid=worker
+                )
             self.handle_worker_recovery(worker)
         elif incarnation > known:
             # the worker rebooted faster than the silence monitor could
@@ -226,6 +279,12 @@ class Master:
             self.incarnations[worker] = incarnation
             self.trace.emit(now, worker, -1, TaskEvent.WORKER_CONFIRMED_DOWN)
             self.trace.emit(now, worker, -1, TaskEvent.WORKER_RECOVERED)
+            if self.obs is not None:
+                self._m_confirmed.inc()
+                self._m_readmitted.inc()
+                self.obs.tracer.instant(
+                    "worker.fast_reboot", cat="fault", tid=worker
+                )
             self.handle_worker_failure(worker)
             self.handle_worker_recovery(worker)
         else:

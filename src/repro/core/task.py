@@ -20,13 +20,29 @@ cores can account it.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.subgraph import Subgraph
 from repro.graph.graph import VertexData
 
-_task_counter = itertools.count()
+_next_task_id = 0
+
+
+def _alloc_task_id() -> int:
+    global _next_task_id
+    tid = _next_task_id
+    _next_task_id += 1
+    return tid
+
+
+def peek_task_id() -> int:
+    """The id the next created task will get (process-global).
+
+    Task ids never reset, so two same-seed runs in one process see
+    shifted ids; observability subtracts the value captured at job
+    start to keep snapshots byte-identical across runs.
+    """
+    return _next_task_id
 
 
 class TaskStatus(enum.Enum):
@@ -71,7 +87,7 @@ class Task:
     """
 
     def __init__(self, seed: VertexData) -> None:
-        self.task_id: int = next(_task_counter)
+        self.task_id: int = _alloc_task_id()
         self.seed = seed
         self.subgraph = Subgraph()
         self.subgraph.add_node(seed.vid)

@@ -171,6 +171,9 @@ class SimWorker:
         self._seeding_done = False
         self.hdfs = None  # set by GMinerJob (checkpoint target)
         self.trace: TraceLog = NullTraceLog()  # replaced by GMinerJob
+        #: :class:`repro.obs.ObsSession` when observability is on;
+        #: ``None`` keeps every instrumented site to a single branch.
+        self.obs = None
 
         # -- degraded-mode protocol state (§7) --------------------------
         # Dormant unless a failure plan is armed: fault-free runs issue
@@ -195,6 +198,38 @@ class SimWorker:
 
     def _emit(self, task_id: int, event: TaskEvent, detail: float = 0.0) -> None:
         self.trace.emit(self.sim.now, self.worker_id, task_id, event, detail)
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "task." + event.value,
+                cat="lifecycle",
+                tid=self.worker_id,
+                task=self.obs.rel_task(task_id),
+            )
+
+    def attach_obs(self, obs) -> None:
+        """Wire an :class:`repro.obs.ObsSession` into this worker.
+
+        Metric handles are resolved once here so the per-event cost is a
+        dict-free ``inc()``; span books (pull-wait, RPC, round) are
+        plain dicts keyed by task id / RPC seq.  Everything in this
+        path is read-only over the simulation: it never schedules
+        events, so enabling it cannot change any simulated quantity.
+        """
+        self.obs = obs
+        labels = {"worker": self.worker_id}
+        registry = obs.registry
+        self._m_seeded = registry.counter("gminer.tasks.seeded", **labels)
+        self._m_completed = registry.counter("gminer.tasks.completed", **labels)
+        self._m_rounds = registry.counter("gminer.rounds", **labels)
+        self._m_pulls = registry.counter("gminer.pulls.sent", **labels)
+        self._m_vertices = registry.counter("gminer.vertices.pulled", **labels)
+        self._m_retries = registry.counter("gminer.rpc.retries", **labels)
+        self._m_checkpoints = registry.counter("gminer.checkpoints", **labels)
+        self._h_pull_wait = registry.histogram(
+            "gminer.pull.wait_seconds", **labels
+        )
+        self._pull_spans: Dict[int, Any] = {}  # task_id -> open task.pull_wait
+        self._rpc_spans: Dict[int, Any] = {}  # rpc seq -> open rpc.pull
 
     # ------------------------------------------------------------------
     # memory helpers
@@ -250,6 +285,11 @@ class SimWorker:
             return
         chunks = [vids[i : i + chunk_size] for i in range(0, len(vids), chunk_size)]
         remaining = {"n": len(chunks)}
+        seed_span = None
+        if self.obs is not None:
+            seed_span = self.obs.tracer.begin(
+                "task.seed", cat="task", tid=self.worker_id, vertices=len(vids)
+            )
 
         for chunk in chunks:
 
@@ -265,6 +305,8 @@ class SimWorker:
                         tasks.append(task)
 
                 def done():
+                    if self.obs is not None and tasks:
+                        self._m_seeded.inc(len(tasks))
                     for task in tasks:
                         self.stats.tasks_seeded += 1
                         self.controller.task_created()
@@ -274,6 +316,8 @@ class SimWorker:
                         self._route(task)
                     remaining["n"] -= 1
                     if remaining["n"] == 0:
+                        if seed_span is not None:
+                            self.obs.tracer.finish(seed_span)
                         self._seeding_done = True
                         self.controller.seeding_finished(self.worker_id)
                         self._flush_buffer(force=True)
@@ -326,6 +370,8 @@ class SimWorker:
             self.results[task.task_id] = task.result
         self._unaccount_task(task)
         self.stats.tasks_completed += 1
+        if self.obs is not None:
+            self._m_completed.inc()
         self.controller.task_dead()
 
     # ------------------------------------------------------------------
@@ -371,6 +417,14 @@ class SimWorker:
             return
         pending = _PendingPull(task=task, remaining=set(need_pull))
         self._emit(task.task_id, TaskEvent.PULL_ISSUED, detail=len(need_pull))
+        if self.obs is not None:
+            self._pull_spans[task.task_id] = self.obs.tracer.begin(
+                "task.pull_wait",
+                cat="task",
+                tid=self.worker_id,
+                task=self.obs.rel_task(task.task_id),
+                vids=len(need_pull),
+            )
         self.cmq[task.task_id] = pending
         by_owner: Dict[int, List[int]] = {}
         for vid in need_pull:
@@ -394,6 +448,15 @@ class SimWorker:
             requester=self.worker_id, vids=tuple(sorted(vids)), seq=seq
         )
         self.stats.pulls_sent += 1
+        if self.obs is not None:
+            self._m_pulls.inc()
+            self._rpc_spans[seq] = self.obs.tracer.begin(
+                "rpc.pull",
+                cat="rpc",
+                tid=self.worker_id,
+                owner=owner,
+                vids=len(vids),
+            )
         if self.faults_enabled:
             pending = _PendingRpc(owner=owner, vids=request.vids)
             self._pending_rpcs[seq] = pending
@@ -469,6 +532,15 @@ class SimWorker:
             return
         self.stats.rpc_retries += 1
         self._emit(-1, TaskEvent.RPC_RETRY, detail=float(pending.owner))
+        if self.obs is not None:
+            self._m_retries.inc()
+            self.obs.tracer.instant(
+                "rpc.retry",
+                cat="rpc",
+                tid=self.worker_id,
+                owner=pending.owner,
+                attempt=pending.attempts,
+            )
         request = PullRequest(
             requester=self.worker_id, vids=pending.vids, seq=seq
         )
@@ -480,6 +552,13 @@ class SimWorker:
         )
 
     def _on_pull_response(self, response: PullResponse) -> None:
+        if self.obs is not None:
+            # pop handles duplicates: a retransmitted response finds no
+            # open span and records nothing twice
+            span = self._rpc_spans.pop(response.seq, None)
+            if span is not None:
+                self.obs.tracer.finish(span)
+                self._h_pull_wait.observe(span.end - span.start)
         if self.faults_enabled:
             if response.seq in self._completed_seqs:
                 # at-least-once delivery: a duplicated or retransmitted
@@ -494,6 +573,8 @@ class SimWorker:
             if pending.timer is not None:
                 pending.timer.cancel()
             self._completed_seqs.add(response.seq)
+        if self.obs is not None and response.vertices:
+            self._m_vertices.inc(len(response.vertices))
         ready: List[Task] = []
         for data in response.vertices:
             self.stats.vertices_pulled += 1
@@ -537,6 +618,8 @@ class SimWorker:
 
     def _mark_ready(self, task: Task) -> None:
         task.status = TaskStatus.READY
+        if self.obs is not None:
+            self.obs.tracer.finish(self._pull_spans.pop(task.task_id, None))
         self._emit(task.task_id, TaskEvent.READY)
         self._enqueue_ready(task)
 
@@ -593,8 +676,21 @@ class SimWorker:
         work = task.run_round(cand_objs, env)
         self.stats.rounds_executed += 1
         self._emit(task.task_id, TaskEvent.EXECUTED, detail=task.round)
+        round_span = None
+        if self.obs is not None:
+            self._m_rounds.inc()
+            round_span = self.obs.tracer.begin(
+                "task.round",
+                cat="task",
+                tid=self.worker_id,
+                task=self.obs.rel_task(task.task_id),
+                round=task.round,
+                work=work,
+            )
 
         def done():
+            if round_span is not None:
+                self.obs.tracer.finish(round_span)
             if not self.node.alive:
                 return
             self._release_refs(task)
@@ -873,6 +969,15 @@ class SimWorker:
         )
         self._checkpoint = snapshot
         self.stats.checkpoints += 1
+        if self.obs is not None:
+            self._m_checkpoints.inc()
+            self.obs.tracer.instant(
+                "checkpoint.taken",
+                cat="fault",
+                tid=self.worker_id,
+                epoch=epoch,
+                tasks=len(tasks),
+            )
         hdfs.write(f"ckpt/{epoch}/worker-{self.worker_id}", snapshot, size)
         self.node.disk.write(size, lambda: None)
 

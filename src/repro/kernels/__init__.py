@@ -63,8 +63,29 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "set_metering_hook",
     "DEFAULT_BACKEND_ENV",
 ]
+
+#: Optional observability hook ``hook(op: str, items: int)`` invoked
+#: once per vectorised batch with the number of elements scanned.
+#: ``None`` (the default) costs one branch per batch call; installed by
+#: :class:`repro.core.job.GMinerJob` when observability is on.
+_metering_hook = None
+
+
+def set_metering_hook(hook):
+    """Install (or with ``None`` clear) the kernel batch metering hook.
+
+    Returns the previous hook so callers can restore it (the job wraps
+    its run in a ``try/finally`` doing exactly that).  Process-wide, so
+    two concurrently instrumented jobs in one process would interleave
+    counts — the runner never does that.
+    """
+    global _metering_hook
+    previous = _metering_hook
+    _metering_hook = hook
+    return previous
 
 #: Environment variable consulted once, at import, for the default.
 DEFAULT_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
@@ -230,7 +251,10 @@ def intersect_count_many(
     triangle kernel's per-seed hot path.  ``arrays`` items may be raw
     sorted sequences or handles; they are normalised internally.
     """
-    return _active.intersect_count_many(arrays, thresholds, target)
+    count, scanned = _active.intersect_count_many(arrays, thresholds, target)
+    if _metering_hook is not None:
+        _metering_hook("intersect_count_many", scanned)
+    return count, scanned
 
 
 def unique_sorted(seq: Iterable[int]) -> Any:

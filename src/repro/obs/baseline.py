@@ -1,0 +1,127 @@
+"""Generate the observability bench baseline (``results/BENCH_obs.json``).
+
+Runs a small, fast G-Miner cell matrix with observability on and
+records the tracked quantities the regression gate
+(:mod:`repro.obs.compare`) checks: simulated makespan, message count,
+network bytes, tasks created and total work units — the simulator-side
+numbers every paper table derives from.
+
+Also doubles as the observability smoke harness: ``--trace-out`` /
+``--metrics-out`` export the Chrome trace and metrics snapshot of the
+same runs (the CI artifacts)::
+
+    python -m repro.obs.baseline -o results/BENCH_obs.json
+    python -m repro.obs.baseline -o new.json --trace-out trace.json
+    python -m repro.obs.compare results/BENCH_obs.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.obs.compare import BENCH_SCHEMA
+from repro.obs.session import ObsCollector, collecting
+
+#: The gate's cell matrix: small enough to finish in seconds, varied
+#: enough (three workloads) to catch pipeline-wide drift.
+DEFAULT_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("tc", "skitter-s"),
+    ("mcf", "skitter-s"),
+    ("gm", "skitter-s"),
+)
+
+#: Cluster shape for the gate cells (mirrors the golden-value tests).
+BASELINE_NODES = 4
+BASELINE_CORES = 4
+
+
+def collect(
+    cells: Sequence[Tuple[str, str]] = DEFAULT_CELLS,
+    collector: ObsCollector = None,
+) -> Dict[str, Any]:
+    """Run the cell matrix and return the baseline document.
+
+    Imports the bench layer lazily so ``repro.obs`` stays importable
+    without dragging the full system in.
+    """
+    from repro.bench.runner import run
+    from repro.sim.cluster import ClusterSpec
+
+    spec = ClusterSpec(num_nodes=BASELINE_NODES, cores_per_node=BASELINE_CORES)
+    own_collector = collector if collector is not None else ObsCollector()
+    cell_records: Dict[str, Dict[str, float]] = {}
+    with collecting(own_collector):
+        for workload, dataset in cells:
+            result = run(
+                workload=workload,
+                dataset=dataset,
+                spec=spec,
+                time_limit=None,
+                enable_obs=True,
+            )
+            if not result.ok:
+                raise RuntimeError(
+                    f"baseline cell {workload}/{dataset} failed: {result.status}"
+                )
+            gauges = result.obs["metrics"]["gauges"]
+            cell_records[f"{workload}/{dataset}"] = {
+                "makespan": gauges["job.makespan"],
+                "messages": gauges["job.messages"],
+                "network_bytes": gauges["job.network_bytes"],
+                "tasks_created": gauges["job.tasks_created"],
+                "work_units": gauges["job.work_units"],
+            }
+    return {
+        "schema": BENCH_SCHEMA,
+        "spec": {"num_nodes": BASELINE_NODES, "cores_per_node": BASELINE_CORES},
+        "cells": cell_records,
+        "_collector": own_collector if collector is None else None,
+    }
+
+
+def write_baseline(path: str, cells: Iterable[Tuple[str, str]] = DEFAULT_CELLS):
+    """Run the matrix and write the baseline; returns (path, collector)."""
+    from repro.obs.exporters import _write, dumps_deterministic
+
+    document = collect(tuple(cells))
+    obs_collector = document.pop("_collector")
+    _write(path, dumps_deterministic(document))
+    return path, obs_collector
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.baseline",
+        description="Regenerate the observability bench baseline.",
+    )
+    parser.add_argument(
+        "-o", "--out", default="results/BENCH_obs.json",
+        help="baseline JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also export the runs' Chrome trace_event JSON here",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also export the runs' metrics snapshot JSON here",
+    )
+    parser.add_argument(
+        "--prometheus-out", default=None,
+        help="also export the merged Prometheus text exposition here",
+    )
+    args = parser.parse_args(argv)
+    path, collector = write_baseline(args.out)
+    print(f"wrote {path} ({len(DEFAULT_CELLS)} cells)")
+    if args.trace_out:
+        print(f"wrote {collector.write_chrome_trace(args.trace_out)}")
+    if args.metrics_out:
+        print(f"wrote {collector.write_metrics_json(args.metrics_out)}")
+    if args.prometheus_out:
+        print(f"wrote {collector.write_prometheus(args.prometheus_out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

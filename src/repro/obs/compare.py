@@ -1,0 +1,115 @@
+"""The bench regression gate: compare tracked quantities against a baseline.
+
+``results/BENCH_obs.json`` (written by ``python -m repro.obs.baseline``)
+pins the tracked quantities of a small, fast cell matrix — work units,
+message counts, simulated makespan, network bytes, tasks created.
+These are exactly the quantities behind the paper's tables, and the
+simulator makes them deterministic, so *any* drift is a behaviour
+change someone must either fix or intentionally re-baseline::
+
+    python -m repro.obs.compare results/BENCH_obs.json new.json
+
+Exit codes: ``0`` clean, ``1`` drift detected, ``2`` usage/schema
+error.  ``--rtol`` relaxes the per-quantity relative tolerance
+(default ``1e-9`` — effectively exact, since same-seed runs are
+bit-identical).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+BENCH_SCHEMA = "repro.obs.bench/1"
+
+#: Per-cell quantities the gate tracks (keys inside each cell record).
+TRACKED = ("makespan", "messages", "network_bytes", "tasks_created", "work_units")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Load and schema-check one baseline/snapshot document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, found {schema!r}"
+        )
+    if not isinstance(doc.get("cells"), dict):
+        raise ValueError(f"{path}: missing 'cells' mapping")
+    return doc
+
+
+def _drifted(a: float, b: float, rtol: float) -> bool:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) > rtol * scale if scale else False
+
+
+def compare(
+    baseline: Dict[str, Any], new: Dict[str, Any], rtol: float = 1e-9
+) -> List[str]:
+    """Return human-readable drift lines (empty == clean)."""
+    problems: List[str] = []
+    base_cells: Dict[str, Any] = baseline["cells"]
+    new_cells: Dict[str, Any] = new["cells"]
+    for cell in sorted(set(base_cells) - set(new_cells)):
+        problems.append(f"cell {cell}: missing from new snapshot")
+    for cell in sorted(set(new_cells) - set(base_cells)):
+        problems.append(f"cell {cell}: not in baseline (re-baseline to accept)")
+    for cell in sorted(set(base_cells) & set(new_cells)):
+        base_q, new_q = base_cells[cell], new_cells[cell]
+        for quantity in TRACKED:
+            if quantity not in base_q and quantity not in new_q:
+                continue
+            if quantity not in base_q or quantity not in new_q:
+                problems.append(
+                    f"cell {cell}: quantity {quantity!r} present on only one side"
+                )
+                continue
+            a, b = float(base_q[quantity]), float(new_q[quantity])
+            if _drifted(a, b, rtol):
+                rel = abs(a - b) / max(abs(a), abs(b))
+                problems.append(
+                    f"cell {cell}: {quantity} drifted {a!r} -> {b!r} "
+                    f"(rel {rel:.3e} > rtol {rtol:.1e})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Fail when tracked bench quantities drift from the baseline.",
+    )
+    parser.add_argument("baseline", help="checked-in baseline JSON (results/BENCH_obs.json)")
+    parser.add_argument("new", help="freshly generated snapshot JSON")
+    parser.add_argument(
+        "--rtol", type=float, default=1e-9,
+        help="relative tolerance per quantity (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_baseline(args.baseline)
+        new = load_baseline(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = compare(baseline, new, rtol=args.rtol)
+    if problems:
+        print(f"DRIFT: {len(problems)} tracked quantit(y/ies) moved:")
+        for line in problems:
+            print(f"  {line}")
+        print(
+            "If intentional, re-baseline with: "
+            "python -m repro.obs.baseline -o results/BENCH_obs.json"
+        )
+        return 1
+    cells = len(baseline["cells"])
+    print(f"OK: {cells} cells match the baseline (rtol={args.rtol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

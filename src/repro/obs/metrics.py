@@ -1,0 +1,231 @@
+"""Labelled metrics: counters, gauges and fixed-bucket histograms.
+
+The :class:`MetricsRegistry` is the one sink every instrumented
+component writes to.  Series are identified by a dotted lowercase name
+plus a sorted label set (``gminer.rounds{worker="3"}``), mirroring the
+Prometheus data model so the text exposition in
+:mod:`repro.obs.exporters` is a direct rendering.
+
+Determinism is a hard requirement (same seed → byte-identical
+snapshot), so the registry stores no wall-clock state and
+:meth:`MetricsRegistry.snapshot` emits series in sorted key order.
+Snapshots are plain dicts of primitives: picklable across the parallel
+runner's process pool and merge-able with
+:meth:`MetricsRegistry.merge_snapshots`.
+
+Instrument handles (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`) are meant to be created once, at attach time, and
+cached by the instrumented component — the hot path then pays one
+method call per event.  The module-level ``_series_created`` counter
+backs the zero-overhead test: a run with observability disabled must
+not create a single series.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"[a-z][a-z0-9_.]*\Z")
+
+#: Default histogram buckets, tuned for simulated-seconds latencies
+#: (pull round trips are ~1e-3 s at the scaled network speed).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+#: Series created since process start — the zero-overhead probe.
+_series_created = 0
+
+
+def series_created() -> int:
+    """Process-wide count of metric series ever created (test hook)."""
+    return _series_created
+
+
+def series_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        global _series_created
+        _series_created += 1
+        self.key = key
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.key} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        global _series_created
+        _series_created += 1
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the tail.  ``counts[i]`` is the number of observations ``<=
+    buckets[i]`` exclusive of earlier buckets (per-bucket counts, made
+    cumulative at exposition time).
+    """
+
+    __slots__ = ("key", "buckets", "counts", "sum", "count")
+
+    def __init__(self, key: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        global _series_created
+        _series_created += 1
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {key} buckets must be strictly increasing")
+        self.key = key
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled series.
+
+    ``counter``/``gauge``/``histogram`` return the same instrument for
+    the same ``(name, labels)``, so call sites can either cache the
+    handle (hot paths) or re-look it up (setup code).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- series creation ------------------------------------------------
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, Any]) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name {name!r} must be dotted lowercase "
+                "([a-z][a-z0-9_.]*), e.g. 'gminer.rounds'"
+            )
+        return series_key(
+            name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        )
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = self._key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(key)
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = self._key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(key)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = self._key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(key, buckets)
+        elif instrument.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {key} re-registered with different buckets"
+            )
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic plain-dict snapshot (sorted series keys)."""
+        return {
+            "counters": {
+                k: c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+        """Merge snapshot dicts: counters and histograms sum, gauges
+        keep the maximum (documented convention — gauges here are
+        run-level summaries like makespan, where max is the
+        conservative cross-run aggregate)."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for snap in snapshots:
+            for key, value in snap.get("counters", {}).items():
+                counters[key] = counters.get(key, 0.0) + value
+            for key, value in snap.get("gauges", {}).items():
+                gauges[key] = max(gauges.get(key, value), value)
+            for key, hist in snap.get("histograms", {}).items():
+                merged = histograms.get(key)
+                if merged is None:
+                    histograms[key] = {
+                        "buckets": list(hist["buckets"]),
+                        "counts": list(hist["counts"]),
+                        "sum": hist["sum"],
+                        "count": hist["count"],
+                    }
+                    continue
+                if merged["buckets"] != list(hist["buckets"]):
+                    raise ValueError(
+                        f"cannot merge histogram {key}: bucket mismatch"
+                    )
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], hist["counts"])
+                ]
+                merged["sum"] += hist["sum"]
+                merged["count"] += hist["count"]
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }

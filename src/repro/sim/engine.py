@@ -53,6 +53,11 @@ class Simulator:
         self._seq = itertools.count()
         self._stopped = False
         self.events_processed = 0
+        #: Optional :class:`repro.obs.ObsSession`.  When set, every
+        #: processed event also ticks the session's ``sim.events``
+        #: counter; when ``None`` (the default) the run loop pays one
+        #: branch and nothing else.
+        self.obs = None
 
     @property
     def now(self) -> float:
@@ -103,6 +108,8 @@ class Simulator:
             event.callback()
             processed += 1
             self.events_processed += 1
+            if self.obs is not None:
+                self.obs.sim_event()
             if max_events is not None and processed >= max_events:
                 break
         return self._now

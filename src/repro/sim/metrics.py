@@ -39,8 +39,19 @@ class ResourceMeter:
         return token
 
     def end(self, now: float, token: int) -> None:
-        """Close the busy period identified by ``token``."""
-        start, units = self._open.pop(token)
+        """Close the busy period identified by ``token``.
+
+        Ending an unknown (never issued, or already ended) token is a
+        caller bug; raise a diagnosable error instead of a bare
+        ``KeyError``.
+        """
+        entry = self._open.pop(token, None)
+        if entry is None:
+            raise ValueError(
+                f"meter {self.name!r}: end() called with unknown token "
+                f"{token!r} (never issued by begin(), or already ended)"
+            )
+        start, units = entry
         if now > start:
             self._intervals.append((start, now, units))
 
@@ -50,7 +61,16 @@ class ResourceMeter:
             self._intervals.append((start, end, units))
 
     def busy_unit_seconds(self, start: float = 0.0, end: Optional[float] = None) -> float:
-        """Total unit-seconds of busy time overlapping ``[start, end]``."""
+        """Total unit-seconds of busy time overlapping ``[start, end]``.
+
+        An inverted window (``end < start``) is always a caller bug —
+        a silent 0.0 here has hidden swapped arguments before.
+        """
+        if end is not None and end < start:
+            raise ValueError(
+                f"meter {self.name!r}: busy_unit_seconds window is inverted "
+                f"(start={start}, end={end})"
+            )
         total = 0.0
         for s, e, units in self._intervals:
             lo = max(s, start)

@@ -229,6 +229,11 @@ class Network:
         self.bytes_counter = ByteCounter(name="network")
         self.messages_sent = 0
         self.faults: Optional[LinkFaultModel] = None
+        #: Optional :class:`repro.obs.ObsSession`.  When set, every
+        #: offered message is counted per payload type
+        #: (``net.messages{type=...}`` / ``net.bytes{type=...}``);
+        #: ``None`` (the default) costs one branch per send.
+        self.obs = None
 
     def install_faults(self, model: LinkFaultModel) -> None:
         """Degrade the fabric: every remote send consults ``model``."""
@@ -274,6 +279,8 @@ class Network:
         if src in self._down or dst in self._down:
             return  # dropped: sender or receiver is dead
         self.messages_sent += 1
+        if self.obs is not None:
+            self.obs.net_message(type(payload).__name__, size_bytes)
         if src == dst:
             # local delivery is a memory copy: exempt from link faults
             self._deliver(message, on_delivered)

@@ -8,8 +8,7 @@ from repro.bench.runner import (
     build_app,
     gc_exemplars,
     prepare_dataset,
-    run_gminer,
-    run_system,
+    run,
 )
 from repro.core.job import JobResult, JobStatus
 from repro.sim.cluster import ClusterSpec
@@ -88,36 +87,36 @@ class TestRunner:
         with pytest.raises(ValueError):
             build_app("pagerank", prepare_dataset("dblp-s", "tc"))
 
-    def test_run_gminer_with_overrides(self):
-        result = run_gminer("tc", "skitter-s", spec=FAST_SPEC, enable_lsh=False)
+    def test_run_with_overrides(self):
+        result = run(workload="tc", dataset="skitter-s", spec=FAST_SPEC, enable_lsh=False)
         assert result.ok
 
-    def test_run_gminer_graphlets(self):
+    def test_run_graphlets(self):
         # GL pulls 2-hop neighbourhoods: give it an open-ended budget
-        result = run_gminer("gl", "skitter-s", spec=FAST_SPEC, time_limit=None)
+        result = run(workload="gl", dataset="skitter-s", spec=FAST_SPEC, time_limit=None)
         assert result.ok
         assert result.value["triangle"] > 0
 
-    def test_run_system_all_systems_tc(self):
+    def test_run_all_systems_tc(self):
         for system in ("single-thread", "arabesque", "giraph", "graphx",
                        "gthinker", "gminer"):
-            result = run_system(system, "tc", "skitter-s", spec=FAST_SPEC)
+            result = run(system=system, workload="tc", dataset="skitter-s", spec=FAST_SPEC)
             assert result is not None
             assert result.ok, system
 
     def test_results_agree_across_systems(self):
         values = {
-            system: run_system(system, "tc", "skitter-s", spec=FAST_SPEC).value
+            system: run(system=system, workload="tc", dataset="skitter-s", spec=FAST_SPEC).value
             for system in ("single-thread", "giraph", "gthinker", "gminer")
         }
         assert len(set(values.values())) == 1
 
     def test_unsupported_returns_none(self):
-        assert run_system("giraph", "gm", "skitter-s", spec=FAST_SPEC) is None
+        assert run(system="giraph", workload="gm", dataset="skitter-s", spec=FAST_SPEC) is None
 
     def test_unknown_system_raises(self):
         with pytest.raises(ValueError):
-            run_system("spark", "tc", "skitter-s", spec=FAST_SPEC)
+            run(system="spark", workload="tc", dataset="skitter-s", spec=FAST_SPEC)
 
     def test_experiment_spec_shape(self):
         assert EXPERIMENT_SPEC.num_nodes == 15

@@ -8,7 +8,7 @@ no wall-clock anywhere.  These tests pin that property at every level.
 import pytest
 
 from repro.apps import GraphMatchingApp, MaxCliqueApp, TriangleCountingApp
-from repro.bench.runner import run_gminer, run_system
+from repro.bench.runner import run
 from repro.core import GMinerConfig, GMinerJob
 from repro.graph.datasets import load_dataset
 from repro.sim.cluster import ClusterSpec
@@ -59,13 +59,13 @@ class TestJobDeterminism:
 
     def test_baselines_deterministic(self, small_social_graph):
         for system in ("giraph", "gthinker"):
-            a = run_system(system, "tc", "skitter-s", spec=SPEC)
-            b = run_system(system, "tc", "skitter-s", spec=SPEC)
+            a = run(system=system, workload="tc", dataset="skitter-s", spec=SPEC)
+            b = run(system=system, workload="tc", dataset="skitter-s", spec=SPEC)
             assert fingerprint(a) == fingerprint(b), system
 
     def test_runner_is_deterministic_across_overrides(self):
-        a = run_gminer("mcf", "skitter-s", spec=SPEC, enable_lsh=False)
-        b = run_gminer("mcf", "skitter-s", spec=SPEC, enable_lsh=False)
+        a = run(workload="mcf", dataset="skitter-s", spec=SPEC, enable_lsh=False)
+        b = run(workload="mcf", dataset="skitter-s", spec=SPEC, enable_lsh=False)
         assert fingerprint(a) == fingerprint(b)
 
 

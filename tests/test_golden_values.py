@@ -9,7 +9,7 @@ ones EXPERIMENTS.md quotes.
 
 import pytest
 
-from repro.bench.runner import prepare_dataset, run, run_gminer
+from repro.bench.runner import prepare_dataset, run
 from repro.mining.cost import WorkMeter
 from repro.mining.graphlets import graphlet_count_sequential
 from repro.sim.cluster import ClusterSpec
@@ -34,7 +34,7 @@ GOLDEN_COMMUNITIES = {
 @pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
 def test_triangle_counts(dataset):
     expected, _, _ = GOLDEN_NON_ATTRIBUTED[dataset]
-    result = run_gminer("tc", dataset, spec=SPEC, time_limit=None)
+    result = run(workload="tc", dataset=dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert result.value == expected
 
@@ -42,7 +42,7 @@ def test_triangle_counts(dataset):
 @pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
 def test_max_clique_sizes(dataset):
     _, expected, _ = GOLDEN_NON_ATTRIBUTED[dataset]
-    result = run_gminer("mcf", dataset, spec=SPEC, time_limit=None)
+    result = run(workload="mcf", dataset=dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert len(result.value) == expected
     assert result.aggregated == expected
@@ -51,14 +51,14 @@ def test_max_clique_sizes(dataset):
 @pytest.mark.parametrize("dataset", sorted(GOLDEN_NON_ATTRIBUTED))
 def test_pattern_match_counts(dataset):
     _, _, expected = GOLDEN_NON_ATTRIBUTED[dataset]
-    result = run_gminer("gm", dataset, spec=SPEC, time_limit=None)
+    result = run(workload="gm", dataset=dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert result.value == expected
 
 
 @pytest.mark.parametrize("dataset", sorted(GOLDEN_COMMUNITIES))
 def test_community_counts(dataset):
-    result = run_gminer("cd", dataset, spec=SPEC, time_limit=None)
+    result = run(workload="cd", dataset=dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert len(result.value) == GOLDEN_COMMUNITIES[dataset]
 

@@ -1,0 +1,328 @@
+"""Tests for the observability subsystem (repro.obs).
+
+The contract under test, in rough order of importance:
+
+* read-only: enabling observability changes no simulated quantity;
+* zero overhead off: a run without obs allocates no spans or series;
+* deterministic: same seed -> byte-identical snapshots and exports;
+* the exporters emit well-formed Chrome trace / Prometheus / JSON;
+* the regression gate passes clean and fails on injected drift.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.runner import run
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    ObsCollector,
+    Tracer,
+    allocation_counts,
+    collecting,
+    current_collector,
+)
+from repro.obs import compare as obs_compare
+from repro.obs.exporters import (
+    chrome_trace,
+    dumps_deterministic,
+    metrics_document,
+    prometheus_text,
+)
+from repro.sim.cluster import ClusterSpec
+
+SPEC = ClusterSpec(num_nodes=4, cores_per_node=2)
+
+
+def run_tc(**overrides):
+    return run(workload="tc", dataset="skitter-s", spec=SPEC,
+               time_limit=None, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b", worker=1) is reg.counter("a.b", worker=1)
+        assert reg.counter("a.b", worker=1) is not reg.counter("a.b", worker=2)
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a.b", x=1, y=2)
+        c2 = reg.counter("a.b", y=2, x=1)
+        assert c1 is c2
+        assert c1.key == 'a.b{x="1",y="2"}'
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("Bad-Name")
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a.b").inc(-1)
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat.s", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.5, 99.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]  # <=1, <=2, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(102.5)
+
+    def test_histogram_rebucket_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat.s", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("lat.s", buckets=(1.0, 3.0))
+
+    def test_snapshot_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.counter("z.z").inc(2)
+        reg.counter("a.a").inc(1)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.a", "z.z"]
+        json.dumps(snap)  # plain primitives only
+
+    def test_merge_counters_sum_gauges_max(self):
+        a = MetricsRegistry()
+        a.counter("c.n").inc(3)
+        a.gauge("g.n").set(5.0)
+        b = MetricsRegistry()
+        b.counter("c.n").inc(4)
+        b.gauge("g.n").set(2.0)
+        merged = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c.n"] == 7
+        assert merged["gauges"]["g.n"] == 5.0
+
+    def test_merge_histograms_sum(self):
+        a = MetricsRegistry()
+        a.histogram("h.n", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h.n", buckets=(1.0,)).observe(2.0)
+        merged = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["histograms"]["h.n"]["counts"] == [1, 1]
+        assert merged["histograms"]["h.n"]["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_begin_finish_nesting(self):
+        clock = {"t": 0.0}
+        tr = Tracer(lambda: clock["t"])
+        outer = tr.begin("a", cat="task", tid=1)
+        clock["t"] = 1.0
+        inner = tr.begin("b", cat="task", tid=1, parent=outer.span_id)
+        clock["t"] = 2.0
+        tr.finish(inner)
+        tr.finish(outer)
+        d = tr.to_dicts()
+        assert d[0]["start"] == 0.0 and d[0]["end"] == 2.0
+        assert d[1]["parent"] == d[0]["id"]
+
+    def test_capacity_drops_and_counts(self):
+        tr = Tracer(lambda: 0.0, capacity=2)
+        assert tr.begin("a") is not None
+        assert tr.begin("b") is not None
+        assert tr.begin("c") is None
+        tr.finish(None)  # None-safe
+        assert tr.dropped == 1
+        assert len(tr) == 2
+
+    def test_close_open_spans(self):
+        tr = Tracer(lambda: 0.0)
+        tr.begin("a")
+        tr.instant("b")
+        assert tr.close_open_spans(5.0) == 1
+        assert tr.spans[0].end == 5.0
+
+
+# ----------------------------------------------------------------------
+# Read-only + zero-overhead contracts
+# ----------------------------------------------------------------------
+
+
+class TestOverheadAndEquivalence:
+    def test_disabled_run_allocates_nothing(self):
+        run_tc()  # warm caches so the probe measures steady state
+        before = allocation_counts()
+        result = run_tc()
+        assert result.obs is None
+        assert allocation_counts() == before
+
+    def test_enabling_obs_changes_no_simulated_quantity(self):
+        plain = run_tc()
+        observed = run_tc(enable_obs=True)
+        assert observed.obs is not None
+        assert observed.value == plain.value
+        assert observed.total_seconds == plain.total_seconds
+        assert observed.network_bytes == plain.network_bytes
+        assert observed.peak_memory_bytes == plain.peak_memory_bytes
+
+    def test_same_seed_snapshots_byte_identical(self):
+        a = run_tc(enable_obs=True)
+        b = run_tc(enable_obs=True)
+        assert dumps_deterministic(a.obs) == dumps_deterministic(b.obs)
+
+    def test_gauges_mirror_job_result(self):
+        result = run_tc(enable_obs=True)
+        gauges = result.obs["metrics"]["gauges"]
+        assert gauges["job.makespan"] == pytest.approx(result.total_seconds)
+        assert gauges["job.messages"] > 0
+        assert gauges["job.network_bytes"] == result.network_bytes
+
+    def test_span_taxonomy_present(self):
+        result = run_tc(enable_obs=True)
+        names = {s["name"] for s in result.obs["spans"]}
+        for expected in ("job.setup", "job.mining", "task.seed",
+                         "task.pull_wait", "task.round", "rpc.pull"):
+            assert expected in names, expected
+
+    def test_collector_auto_attaches(self):
+        assert current_collector() is None
+        collector = ObsCollector()
+        with collecting(collector):
+            assert current_collector() is collector
+            result = run_tc()
+        assert current_collector() is None
+        assert len(collector) == 1
+        assert result.obs is not None
+        assert collector.runs[0] is result.obs
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def obs_run():
+    return run(workload="tc", dataset="skitter-s", spec=SPEC,
+               time_limit=None, enable_obs=True).obs
+
+
+class TestExporters:
+    def test_chrome_trace_structure(self, obs_run):
+        doc = chrome_trace([obs_run])
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i"}
+        assert "X" in phases and "i" in phases
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["args"]["name"] == "master" for e in meta
+                   if e["name"] == "thread_name")
+        for e in events:
+            if e["ph"] == "X":
+                assert e["dur"] > 0 and e["ts"] >= 0
+
+    def test_chrome_trace_one_pid_per_run(self, obs_run):
+        doc = chrome_trace([obs_run, obs_run])
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+
+    def test_prometheus_text(self, obs_run):
+        text = prometheus_text(obs_run["metrics"])
+        assert "# TYPE sim_events counter" in text
+        assert "# TYPE job_makespan gauge" in text
+        assert "# TYPE gminer_pull_wait_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        # cumulative bucket counts must end at the series count
+        lines = text.splitlines()
+        inf = next(l for l in lines if l.startswith("gminer_pull_wait_seconds_bucket")
+                   and 'le="+Inf"' in l)
+        count = next(l for l in lines
+                     if l.startswith("gminer_pull_wait_seconds_count"))
+        assert inf.rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1]
+
+    def test_metrics_document_schema(self, obs_run):
+        doc = metrics_document([obs_run])
+        assert doc["schema"] == "repro.obs.metrics/1"
+        assert len(doc["runs"]) == 1
+        entry = doc["runs"][0]
+        assert entry["num_spans"] == len(obs_run["spans"])
+        assert entry["metrics"] == obs_run["metrics"]
+
+    def test_deterministic_dumps(self, obs_run):
+        assert dumps_deterministic(obs_run) == dumps_deterministic(
+            json.loads(dumps_deterministic(obs_run))
+        )
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+
+BASE_DOC = {
+    "schema": "repro.obs.bench/1",
+    "spec": {"num_nodes": 4, "cores_per_node": 4},
+    "cells": {
+        "tc/skitter-s": {
+            "makespan": 0.5, "messages": 100.0, "network_bytes": 1000.0,
+            "tasks_created": 10.0, "work_units": 5000.0,
+        },
+    },
+}
+
+
+class TestCompareGate:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_pass_exits_zero(self, tmp_path, capsys):
+        p = self._write(tmp_path, "base.json", BASE_DOC)
+        assert obs_compare.main([p, p]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_drift_exits_one(self, tmp_path, capsys):
+        drifted = copy.deepcopy(BASE_DOC)
+        drifted["cells"]["tc/skitter-s"]["work_units"] += 1
+        a = self._write(tmp_path, "base.json", BASE_DOC)
+        b = self._write(tmp_path, "new.json", drifted)
+        assert obs_compare.main([a, b]) == 1
+        assert "work_units drifted" in capsys.readouterr().out
+
+    def test_missing_cell_exits_one(self, tmp_path):
+        smaller = copy.deepcopy(BASE_DOC)
+        del smaller["cells"]["tc/skitter-s"]
+        a = self._write(tmp_path, "base.json", BASE_DOC)
+        b = self._write(tmp_path, "new.json", smaller)
+        assert obs_compare.main([a, b]) == 1
+
+    def test_rtol_allows_small_drift(self, tmp_path):
+        drifted = copy.deepcopy(BASE_DOC)
+        drifted["cells"]["tc/skitter-s"]["makespan"] *= 1.0 + 1e-12
+        a = self._write(tmp_path, "base.json", BASE_DOC)
+        b = self._write(tmp_path, "new.json", drifted)
+        assert obs_compare.main([a, b]) == 0
+        assert obs_compare.main([a, b, "--rtol", "1e-15"]) == 1
+
+    def test_bad_schema_exits_two(self, tmp_path, capsys):
+        bad = dict(BASE_DOC, schema="something/else")
+        a = self._write(tmp_path, "base.json", BASE_DOC)
+        b = self._write(tmp_path, "bad.json", bad)
+        assert obs_compare.main([a, b]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_checked_in_baseline_matches_fresh_collect(self):
+        """The real gate: results/BENCH_obs.json vs a fresh collect."""
+        from repro.obs import baseline as obs_baseline
+
+        fresh = obs_baseline.collect()
+        with open("results/BENCH_obs.json", encoding="utf-8") as fh:
+            checked_in = json.load(fh)
+        assert obs_compare.compare(checked_in, fresh) == []

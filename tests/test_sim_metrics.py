@@ -48,6 +48,48 @@ class TestResourceMeter:
         m.end(1.5, t2)
         assert m.busy_unit_seconds() == pytest.approx(2.0)
 
+    def test_end_unknown_token_raises_value_error(self):
+        m = ResourceMeter("r")
+        with pytest.raises(ValueError, match="unknown token"):
+            m.end(1.0, 42)
+
+    def test_end_twice_raises_value_error(self):
+        m = ResourceMeter("r")
+        token = m.begin(0.0)
+        m.end(1.0, token)
+        with pytest.raises(ValueError, match="already ended"):
+            m.end(2.0, token)
+
+    def test_inverted_window_raises_value_error(self):
+        m = ResourceMeter("r")
+        m.add_interval(0.0, 1.0)
+        with pytest.raises(ValueError, match="inverted"):
+            m.busy_unit_seconds(2.0, 1.0)
+
+    def test_open_ended_window_allows_any_start(self):
+        m = ResourceMeter("r")
+        m.add_interval(0.0, 3.0)
+        assert m.busy_unit_seconds(1.0) == pytest.approx(2.0)
+
+    def test_overlapping_intervals_sum_within_window(self):
+        # two units busy on [1, 3), one on [2, 5): window clipping must
+        # charge each interval independently
+        m = ResourceMeter("r", capacity=3)
+        m.add_interval(1.0, 3.0, units=2)
+        m.add_interval(2.0, 5.0, units=1)
+        assert m.busy_unit_seconds(0.0, 2.0) == pytest.approx(2.0)
+        assert m.busy_unit_seconds(2.0, 3.0) == pytest.approx(3.0)
+        assert m.busy_unit_seconds(2.5, 4.0) == pytest.approx(2.5)
+        assert m.busy_unit_seconds() == pytest.approx(7.0)
+
+    def test_overlapping_window_utilization(self):
+        m = ResourceMeter("r", capacity=2)
+        m.add_interval(0.0, 2.0, units=1)
+        m.add_interval(1.0, 2.0, units=1)
+        assert m.utilization(0.0, 1.0) == pytest.approx(0.5)
+        assert m.utilization(1.0, 2.0) == pytest.approx(1.0)
+        assert m.utilization(0.0, 2.0) == pytest.approx(0.75)
+
 
 class TestUtilizationTimeline:
     def test_bins_and_values(self):
