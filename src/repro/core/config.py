@@ -111,6 +111,17 @@ class GMinerConfig:
     enable_obs: bool = False
     obs_span_capacity: int = 500_000  # max spans before dropping
 
+    # -- verification -------------------------------------------------------
+    #: Arm the runtime invariant checker (:mod:`repro.verify`): an
+    #: :class:`~repro.verify.InvariantMonitor` rides along with the job
+    #: and asserts conservation laws (messages, work units, task
+    #: lifecycle, cache/store accounting, clock monotonicity) at the
+    #: existing barrier points, raising ``InvariantViolation`` with a
+    #: minimal event-window repro on failure.  Strictly read-only over
+    #: the simulation and zero-overhead when off.  The ``REPRO_VERIFY=1``
+    #: environment variable arms it globally without touching configs.
+    verify: bool = False
+
     # -- job limits ------------------------------------------------------------
     time_limit: Optional[float] = None  # simulated seconds; None = unlimited
 

@@ -31,6 +31,7 @@ from repro.sim.errors import SimulatedOOMError
 from repro.sim.failures import FailureInjector, FailurePlan
 from repro.sim.hdfs import SimulatedHDFS
 from repro.sim.metrics import UtilizationTimeline
+from repro.verify import InvariantMonitor, verify_env_enabled
 
 
 class JobStatus(enum.Enum):
@@ -50,6 +51,11 @@ class JobController:
         self.sim = sim
         self.live = 0
         self.total_created = 0
+        # lifecycle ledger: created + restored == dead + lost once the
+        # job finishes (the task-conservation law repro.verify audits)
+        self.total_dead = 0
+        self.total_lost = 0
+        self.total_restored = 0
         self.finished = False
         self.finish_time: Optional[float] = None
         self._seeding_pending: Set[int] = set(range(num_workers))
@@ -63,15 +69,18 @@ class JobController:
     def task_dead(self) -> None:
         """A task finished; may complete the job."""
         self.live -= 1
+        self.total_dead += 1
         self._check()
 
     def tasks_lost(self, n: int) -> None:
         """A failed worker took ``n`` live tasks down with it."""
         self.live -= n
+        self.total_lost += n
 
     def tasks_restored(self, n: int) -> None:
         """Checkpoint recovery re-created ``n`` live tasks."""
         self.live += n
+        self.total_restored += n
 
     def seeding_finished(self, worker_id: int) -> None:
         """A worker's task generator completed its scan."""
@@ -221,6 +230,7 @@ class GMinerJob:
         self.cluster: Optional[Cluster] = None
         self.assignment: Optional[PartitionAssignment] = None
         self.obs: Optional[ObsSession] = None
+        self.verify: Optional[InvariantMonitor] = None
 
     # ------------------------------------------------------------------
 
@@ -297,12 +307,26 @@ class GMinerJob:
             obs.task_base = peek_task_id()
             sim.obs = obs
         self.obs = obs
-        if obs is None:
+        verify = None
+        if self.config.verify or verify_env_enabled():
+            verify = InvariantMonitor(clock=lambda: sim.now)
+            sim.verify = verify
+        self.verify = verify
+        if obs is None and verify is None:
             return self._run_body(sim)
         # meter vectorised kernel batches for the duration of the job;
         # restored unconditionally so a failing run cannot leak the
         # process-global hook into the next one
-        previous_hook = kernels.set_metering_hook(obs.kernel_batch)
+        if obs is not None and verify is not None:
+            obs_hook, verify_hook = obs.kernel_batch, verify.kernel_batch
+
+            def hook(op, units):
+                obs_hook(op, units)
+                verify_hook(op, units)
+
+        else:
+            hook = obs.kernel_batch if obs is not None else verify.kernel_batch
+        previous_hook = kernels.set_metering_hook(hook)
         try:
             result = self._run_body(sim)
         finally:
@@ -318,6 +342,8 @@ class GMinerJob:
         self.cluster = cluster
         if self.obs is not None:
             cluster.network.obs = self.obs
+        if self.verify is not None:
+            cluster.network.verify = self.verify
         master_endpoint = num_workers
         hdfs = SimulatedHDFS(sim)
 
@@ -348,6 +374,8 @@ class GMinerJob:
             worker.hdfs = hdfs
             if self.obs is not None:
                 worker.attach_obs(self.obs)
+            if self.verify is not None:
+                worker.verify = self.verify
             workers.append(worker)
         self.workers = workers
 
@@ -373,6 +401,8 @@ class GMinerJob:
             master.trace = trace
         if self.obs is not None:
             master.attach_obs(self.obs)
+        if self.verify is not None:
+            master.verify = self.verify
         self.master = master
 
         # distribute partitions (memory charged immediately; the time
@@ -407,6 +437,15 @@ class GMinerJob:
         result = self._collect(
             status, controller, cluster, setup_seconds, partition_seconds
         )
+        if self.verify is not None:
+            # the full conservation audit; on OK runs the controller is
+            # finished and the task ledger must balance exactly
+            self.verify.check_end_of_job(
+                controller=controller,
+                workers=workers,
+                master=master,
+                cluster=cluster,
+            )
         result.trace = getattr(self, "trace", None)
         if self.obs is not None:
             self._finalize_obs(
@@ -476,8 +515,20 @@ class GMinerJob:
         """
         base = self.config.progress_interval
         state = {"interval": base}
+        verify = self.verify
+        master = self.master
 
         def tick():
+            if verify is not None:
+                # barrier checks piggybacking on this existing event:
+                # the monitor never schedules events of its own, so
+                # enabling it cannot perturb the simulated timeline
+                if worker.node.alive:
+                    verify.check_worker(worker)
+                if master is not None:
+                    verify.check_master(master)
+                verify.check_network(worker.cluster.network)
+                verify.check_work(worker.cluster.nodes)
             if controller.finished:
                 return
             if worker.node.alive:

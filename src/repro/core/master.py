@@ -73,6 +73,10 @@ class Master:
         #: :class:`repro.obs.ObsSession` when observability is on;
         #: ``None`` keeps every instrumented site to a single branch.
         self.obs = None
+        #: :class:`repro.verify.InvariantMonitor` when invariant
+        #: checking is armed; barrier checks read the membership state
+        #: above (view monotonicity, suspected/down disjointness).
+        self.verify = None
         cluster.network.register_handler(endpoint, self._on_message)
 
     def attach_obs(self, obs) -> None:

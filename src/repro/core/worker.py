@@ -174,6 +174,12 @@ class SimWorker:
         #: :class:`repro.obs.ObsSession` when observability is on;
         #: ``None`` keeps every instrumented site to a single branch.
         self.obs = None
+        #: :class:`repro.verify.InvariantMonitor` when invariant
+        #: checking is armed; ``None`` keeps each recording site to a
+        #: single branch.  The monitor double-entry accounts the work
+        #: units this worker hands to its core pool so barrier checks
+        #: can compare them against the pool's own accumulator.
+        self.verify = None
 
         # -- degraded-mode protocol state (§7) --------------------------
         # Dormant unless a failure plan is armed: fault-free runs issue
@@ -303,6 +309,8 @@ class SimWorker:
                     if task is not None:
                         task.owner_worker = self.worker_id
                         tasks.append(task)
+                if self.verify is not None:
+                    self.verify.on_work(work, f"worker[{self.worker_id}].seed")
 
                 def done():
                     if self.obs is not None and tasks:
@@ -658,6 +666,8 @@ class SimWorker:
         if missing:
             # a candidate was evicted (lru/fifo ablation) — re-pull it
             self.stats.re_pulls += 1
+            if self.verify is not None:
+                self.verify.on_work(1.0, f"worker[{self.worker_id}].repull")
 
             def requeue():
                 self._release_refs(task)
@@ -674,6 +684,8 @@ class SimWorker:
             push=self.agg.offer if self.agg else None,
         )
         work = task.run_round(cand_objs, env)
+        if self.verify is not None:
+            self.verify.on_work(work, f"worker[{self.worker_id}].round")
         self.stats.rounds_executed += 1
         self._emit(task.task_id, TaskEvent.EXECUTED, detail=task.round)
         round_span = None

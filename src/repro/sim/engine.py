@@ -58,6 +58,10 @@ class Simulator:
         #: counter; when ``None`` (the default) the run loop pays one
         #: branch and nothing else.
         self.obs = None
+        #: Optional :class:`repro.verify.InvariantMonitor`.  When set,
+        #: every popped event is checked for clock monotonicity before
+        #: the clock advances; ``None`` (the default) costs one branch.
+        self.verify = None
 
     @property
     def now(self) -> float:
@@ -104,6 +108,8 @@ class Simulator:
             heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self.verify is not None:
+                self.verify.on_sim_event(self._now, event.time)
             self._now = event.time
             event.callback()
             processed += 1

@@ -234,6 +234,11 @@ class Network:
         #: (``net.messages{type=...}`` / ``net.bytes{type=...}``);
         #: ``None`` (the default) costs one branch per send.
         self.obs = None
+        #: Optional :class:`repro.verify.InvariantMonitor`.  When set,
+        #: every message's fate (offered / dropped-with-reason /
+        #: delivered) is double-entry accounted so barrier checks can
+        #: assert conservation; ``None`` costs one branch per send.
+        self.verify = None
 
     def install_faults(self, model: LinkFaultModel) -> None:
         """Degrade the fabric: every remote send consults ``model``."""
@@ -276,13 +281,19 @@ class Network:
         if size_bytes < 0:
             raise ValueError("message size cannot be negative")
         message = Message(src=src, dst=dst, size_bytes=size_bytes, payload=payload)
+        if self.verify is not None:
+            self.verify.on_net_offered(src, dst, payload)
         if src in self._down or dst in self._down:
+            if self.verify is not None:
+                self.verify.on_net_dropped("endpoint_down", src, dst)
             return  # dropped: sender or receiver is dead
         self.messages_sent += 1
         if self.obs is not None:
             self.obs.net_message(type(payload).__name__, size_bytes)
         if src == dst:
             # local delivery is a memory copy: exempt from link faults
+            if self.verify is not None:
+                self.verify.on_net_accepted(1)
             self._deliver(message, on_delivered)
             return
         latency = self.latency
@@ -290,9 +301,13 @@ class Network:
         if self.faults is not None:
             verdict = self.faults.judge(src, dst, self.sim.now)
             if verdict.drop:
+                if self.verify is not None:
+                    self.verify.on_net_dropped("link_fault", src, dst)
                 return
             latency = latency * verdict.slow_factor + verdict.extra_delay
             duplicates = verdict.duplicates
+        if self.verify is not None:
+            self.verify.on_net_accepted(1 + duplicates)
         self.bytes_counter.add(size_bytes)
 
         def after_serialise():
@@ -310,6 +325,10 @@ class Network:
         self._nics[src].enqueue(size_bytes, after_serialise)
 
     def _deliver(self, message: Message, on_delivered) -> None:
+        if self.verify is not None:
+            # settle before the handler runs so message accounting stays
+            # balanced even if the handler raises (e.g. a simulated OOM)
+            self.verify.on_net_settled(message, message.dst not in self._down)
         if message.dst in self._down:
             return
         handler = self._handlers.get(message.dst)

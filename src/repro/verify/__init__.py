@@ -1,0 +1,31 @@
+"""repro.verify — runtime invariant checking and differential testing.
+
+Three layers, all built on the simulator's seeded determinism:
+
+* :mod:`repro.verify.invariants` — an :class:`InvariantMonitor` that the
+  runtime arms behind ``GMinerConfig(verify=True)`` / ``REPRO_VERIFY=1``
+  and that asserts conservation laws at existing barrier points;
+* :mod:`repro.verify.fuzz` — a differential fuzzer
+  (``python -m repro.verify.fuzz``) that runs G-Miner against the
+  single-thread baseline and a second kernel backend over seeded random
+  cases, shrinking any mismatch to a replayable JSON repro;
+* :mod:`repro.verify.metamorphic` — helpers for the metamorphic oracle
+  suite (result invariance under relabelling, cluster reshaping and
+  fault injection), exercised by ``tests/test_metamorphic.py``.
+
+See ``docs/testing.md`` for the full invariant list and taxonomy.
+"""
+
+from repro.verify.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    allocation_counts,
+    verify_env_enabled,
+)
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "allocation_counts",
+    "verify_env_enabled",
+]

@@ -1,0 +1,421 @@
+"""Differential fuzzer: G-Miner vs the sequential oracle vs itself.
+
+``python -m repro.verify.fuzz --iterations 25 --seed 0`` generates
+seeded random (graph, workload, cluster-config, failure-plan,
+kernel-backend) cases and, for each one:
+
+1. runs the distributed G-Miner job with invariant checking armed and
+   the first kernel backend;
+2. runs it again with a second kernel backend — results *and* metered
+   quantities (simulated makespan, network bytes, per-run stats) must
+   match exactly, because backends are value- and work-unit-identical;
+3. runs the single-thread baseline kernel as the ground-truth oracle —
+   normalised results must agree.
+
+Any mismatch (or :class:`~repro.verify.InvariantViolation`) is shrunk
+by delta-debugging the vertex set (induced subgraphs) and simplifying
+the configuration, then persisted as a replayable JSON repro
+(``repro.verify.fuzz/1``).  Replay one with
+``python -m repro.verify.fuzz --replay <repro.json>``.
+
+Everything is derived from ``--seed``, so a failing case reproduces
+bit-for-bit from its case seed alone — the JSON exists so the *shrunk*
+case survives even after the generator changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import kernels
+from repro.apps import (
+    CommunityDetectionApp,
+    GraphClusteringApp,
+    GraphMatchingApp,
+    MaxCliqueApp,
+    TriangleCountingApp,
+)
+from repro.baselines.single_thread import SingleThreadSystem
+from repro.core.config import GMinerConfig
+from repro.core.job import GMinerJob, JobStatus
+from repro.graph.generators import (
+    preferential_attachment_graph,
+    random_attributes,
+    random_labels,
+)
+from repro.graph.graph import Graph
+from repro.mining.clustering import FocusParams
+from repro.mining.community import CommunityParams
+from repro.sim.cluster import ClusterSpec
+from repro.sim.failures import FailurePlan
+from repro.verify.invariants import InvariantViolation
+from repro.verify.metamorphic import normalize_value
+
+SCHEMA = "repro.verify.fuzz/1"
+#: tc dominates (cheapest, sharpest oracle); the rest rotate through.
+WORKLOADS = ("tc", "tc", "mcf", "gm", "cd", "gc")
+LABEL_ALPHABET = ("a", "b", "c", "d", "e")
+
+
+# ----------------------------------------------------------------------
+# case generation and (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def second_backend() -> str:
+    """The backend to differentiate against "reference"."""
+    try:
+        import numpy  # noqa: F401
+
+        return "numpy"
+    except ImportError:
+        return "bitset"
+
+
+def generate_case(seed: int) -> Dict[str, Any]:
+    """One seeded random (graph, workload, config, plan, backends) tuple."""
+    rng = random.Random(seed)
+    workload = rng.choice(WORKLOADS)
+    n = rng.randrange(16, 96)
+    graph = preferential_attachment_graph(
+        n=n,
+        m=rng.randrange(2, 6),
+        triangle_prob=rng.uniform(0.3, 0.8),
+        seed=rng.randrange(1 << 30),
+    )
+    labels: Dict[int, str] = {}
+    attrs: Dict[int, List[int]] = {}
+    if workload == "gm":
+        random_labels(graph, alphabet=LABEL_ALPHABET, seed=rng.randrange(1 << 30))
+        labels = {v: graph.label(v) for v in graph.vertices()}
+    if workload in ("cd", "gc"):
+        random_attributes(graph, seed=rng.randrange(1 << 30))
+        attrs = {v: list(graph.attributes(v)) for v in graph.vertices()}
+    config: Dict[str, Any] = {
+        "partitioner": rng.choice(["bdg", "hash"]),
+        "cache_policy": rng.choice(["rcv", "rcv", "lru", "fifo"]),
+        "enable_lsh": rng.random() < 0.8,
+        "enable_stealing": rng.random() < 0.8,
+    }
+    if rng.random() < 0.3:
+        config["cache_capacity_bytes"] = rng.choice([2048, 8192])
+    if rng.random() < 0.3:
+        config["store_block_tasks"] = rng.choice([2, 8])
+        config["task_buffer_batch"] = 2
+    plan: Optional[Dict[str, Any]] = None
+    num_nodes = rng.randrange(2, 5)
+    if rng.random() < 0.3:
+        config["checkpoint_interval"] = 0.02
+        plan = {"seed": rng.randrange(1 << 30), "kills": [], "lossy": []}
+        if rng.random() < 0.7:
+            plan["kills"].append(
+                [rng.randrange(num_nodes), rng.uniform(0.01, 0.08), 0.02]
+            )
+        if rng.random() < 0.5:
+            plan["lossy"].append([rng.uniform(0.02, 0.15), 0.0, 0.2])
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "workload": workload,
+        "vertices": sorted(graph.vertices()),
+        "edges": [
+            [u, v] for u in sorted(graph.vertices())
+            for v in graph.neighbors(u) if u < v
+        ],
+        "labels": {str(k): v for k, v in labels.items()},
+        "attributes": {str(k): v for k, v in attrs.items()},
+        "num_nodes": num_nodes,
+        "cores_per_node": rng.choice([1, 2, 4]),
+        "config": config,
+        "failure_plan": plan,
+        "backends": ["reference", second_backend()],
+    }
+
+
+def graph_from_case(case: Dict[str, Any]) -> Graph:
+    graph = Graph.from_edges(
+        [tuple(e) for e in case["edges"]], vertices=case["vertices"]
+    )
+    if case.get("labels"):
+        graph.set_labels({int(k): v for k, v in case["labels"].items()})
+    if case.get("attributes"):
+        graph.set_all_attributes(
+            {int(k): tuple(v) for k, v in case["attributes"].items()}
+        )
+    return graph
+
+
+def plan_from_case(case: Dict[str, Any]) -> Optional[FailurePlan]:
+    spec = case.get("failure_plan")
+    if spec is None:
+        return None
+    plan = FailurePlan(seed=spec["seed"])
+    for node_id, at_time, recovery in spec["kills"]:
+        plan.kill(node_id, at_time, recovery_delay=recovery)
+    for rate, start, end in spec["lossy"]:
+        plan.lossy(rate, start=start, end=end)
+    return plan
+
+
+def _build_app(case: Dict[str, Any], graph: Graph):
+    workload = case["workload"]
+    if workload == "tc":
+        return TriangleCountingApp()
+    if workload == "mcf":
+        return MaxCliqueApp()
+    if workload == "gm":
+        return GraphMatchingApp()
+    if workload == "cd":
+        return CommunityDetectionApp()
+    if workload == "gc":
+        exemplars = _exemplars(graph)
+        return GraphClusteringApp([graph.attributes(e) for e in exemplars])
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _exemplars(graph: Graph) -> List[int]:
+    return sorted(graph.vertices())[:3]
+
+
+# ----------------------------------------------------------------------
+# differential execution
+# ----------------------------------------------------------------------
+
+
+def run_distributed(case: Dict[str, Any], backend: str):
+    """One G-Miner run with invariant checking armed; returns JobResult."""
+    graph = graph_from_case(case)
+    config = GMinerConfig(
+        cluster=ClusterSpec(
+            num_nodes=case["num_nodes"], cores_per_node=case["cores_per_node"]
+        ),
+        verify=True,
+        kernel_backend=backend,
+        **case["config"],
+    )
+    job = GMinerJob(_build_app(case, graph), graph, config, plan_from_case(case))
+    return job.run()
+
+
+def run_oracle(case: Dict[str, Any]):
+    """The single-thread ground truth for this case's workload."""
+    graph = graph_from_case(case)
+    system = SingleThreadSystem()
+    return system.run(
+        case["workload"],
+        graph,
+        community_params=CommunityParams(),
+        focus_params=FocusParams(),
+        exemplars=_exemplars(graph),
+    )
+
+
+def _fingerprint(result) -> Dict[str, Any]:
+    """The quantities two kernel backends must agree on exactly.
+
+    Backends are value- and work-unit-identical, so the entire
+    simulated timeline — not just the answer — must match.
+    """
+    return {
+        "status": result.status.value,
+        "value": result.value,
+        "num_results": result.num_results,
+        "total_seconds": result.total_seconds,
+        "network_bytes": result.network_bytes,
+        "stats": dict(sorted(result.stats.items())),
+    }
+
+
+def check_case(case: Dict[str, Any]) -> List[str]:
+    """Run the differential triad; return mismatch descriptions."""
+    workload = case["workload"]
+    backend_a, backend_b = case["backends"]
+    try:
+        result_a = run_distributed(case, backend_a)
+    except InvariantViolation as violation:
+        return [f"invariant violation under backend {backend_a}: {violation}"]
+    mismatches: List[str] = []
+    if result_a.status is not JobStatus.OK:
+        return [f"distributed run did not complete: {result_a.status.value}"]
+    try:
+        result_b = run_distributed(case, backend_b)
+    except InvariantViolation as violation:
+        return [f"invariant violation under backend {backend_b}: {violation}"]
+    fp_a, fp_b = _fingerprint(result_a), _fingerprint(result_b)
+    if fp_a != fp_b:
+        diff = {
+            key: (fp_a[key], fp_b[key])
+            for key in fp_a
+            if fp_a[key] != fp_b[key]
+        }
+        mismatches.append(
+            f"backends {backend_a} vs {backend_b} diverged: {diff!r}"
+        )
+    oracle = run_oracle(case)
+    expected = normalize_value(workload, oracle.value)
+    observed = normalize_value(workload, result_a.value)
+    if observed != expected:
+        mismatches.append(
+            f"G-Miner vs single-thread oracle on {workload}: "
+            f"observed {observed!r}, expected {expected!r}"
+        )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+
+def _induced_case(case: Dict[str, Any], keep: Sequence[int]) -> Dict[str, Any]:
+    """The case restricted to the induced subgraph on ``keep``."""
+    kept = set(keep)
+    sub = dict(case)
+    sub["vertices"] = sorted(kept)
+    sub["edges"] = [e for e in case["edges"] if e[0] in kept and e[1] in kept]
+    sub["labels"] = {k: v for k, v in case["labels"].items() if int(k) in kept}
+    sub["attributes"] = {
+        k: v for k, v in case["attributes"].items() if int(k) in kept
+    }
+    return sub
+
+
+def shrink_case(case: Dict[str, Any], max_checks: int = 400) -> Dict[str, Any]:
+    """Delta-debug a failing case to a (locally) minimal one.
+
+    Removes vertex chunks of halving size while the case still fails,
+    then tries dropping the failure plan and resetting config knobs.
+    ``max_checks`` bounds the total number of re-executions.
+    """
+    budget = {"n": max_checks}
+
+    def still_fails(candidate: Dict[str, Any]) -> bool:
+        if budget["n"] <= 0:
+            return False
+        budget["n"] -= 1
+        try:
+            return bool(check_case(candidate))
+        except Exception:
+            # a shrunk case that crashes outright is still a failure
+            return True
+
+    best = case
+    chunk = max(len(best["vertices"]) // 2, 1)
+    while chunk >= 1:
+        index = 0
+        while index < len(best["vertices"]):
+            vids = best["vertices"]
+            candidate = _induced_case(best, vids[:index] + vids[index + chunk:])
+            # an edgeless graph degenerates every workload; stop there
+            if candidate["edges"] and still_fails(candidate):
+                best = candidate
+            else:
+                index += chunk
+        chunk //= 2
+    if best.get("failure_plan") is not None:
+        candidate = dict(best)
+        candidate["failure_plan"] = None
+        candidate["config"] = {
+            k: v for k, v in best["config"].items() if k != "checkpoint_interval"
+        }
+        if still_fails(candidate):
+            best = candidate
+    for knob in sorted(best["config"]):
+        candidate = dict(best)
+        candidate["config"] = {
+            k: v for k, v in best["config"].items() if k != knob
+        }
+        if still_fails(candidate):
+            best = candidate
+    return best
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def save_repro(
+    case: Dict[str, Any], mismatches: List[str], out_dir: str
+) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"fuzz-repro-{case['seed']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {**case, "mismatches": mismatches}, fh, indent=2, sort_keys=True
+        )
+    return path
+
+
+def replay(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        case = json.load(fh)
+    if case.get("schema") != SCHEMA:
+        print(f"not a {SCHEMA} repro: {path}", file=sys.stderr)
+        return 2
+    mismatches = check_case(case)
+    if mismatches:
+        print(f"repro still fails ({len(mismatches)} mismatch(es)):")
+        for mismatch in mismatches:
+            print(f"  - {mismatch}")
+        return 1
+    print("repro passes: the underlying bug appears fixed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--iterations", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="fuzz-repros", help="directory for shrunk repro JSON"
+    )
+    parser.add_argument(
+        "--replay", metavar="REPRO_JSON", help="re-run one persisted repro"
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report mismatches without delta-debugging them",
+    )
+    args = parser.parse_args(argv)
+    if args.replay:
+        return replay(args.replay)
+
+    failures = 0
+    for iteration in range(args.iterations):
+        case_seed = args.seed * 1_000_003 + iteration
+        case = generate_case(case_seed)
+        mismatches = check_case(case)
+        tag = (
+            f"[{iteration + 1}/{args.iterations}] seed={case_seed} "
+            f"{case['workload']} n={len(case['vertices'])}"
+        )
+        if not mismatches:
+            print(f"{tag}: ok")
+            continue
+        failures += 1
+        print(f"{tag}: MISMATCH")
+        for mismatch in mismatches:
+            print(f"  - {mismatch.splitlines()[0]}")
+        if not args.no_shrink:
+            case = shrink_case(case)
+            mismatches = check_case(case) or mismatches
+            print(f"  shrunk to {len(case['vertices'])} vertices")
+        path = save_repro(case, mismatches, args.out)
+        print(f"  repro written to {path}")
+    print(
+        f"{args.iterations} case(s), {failures} failure(s)"
+        + (f"; repros in {args.out}/" if failures else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,119 @@
+"""Metamorphic transformations and result normalisation.
+
+The metamorphic oracle suite (``tests/test_metamorphic.py``) asserts
+that mining results are *invariant* under transformations that change
+the computation without changing the answer:
+
+* **vertex relabelling** — a random permutation of vertex ids changes
+  partitioning, task order and cache behaviour, but the (mapped)
+  results must be identical;
+* **cluster reshaping** — partition count and worker/core counts
+  change where every task runs, not what it computes;
+* **fault injection** — per PR 3's exact-results-under-faults
+  contract, a failure plan may change the timeline but never the
+  result.
+
+This module holds the transformation and normalisation helpers shared
+by the test suite and the differential fuzzer (:mod:`repro.verify.fuzz`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+#: Workloads whose result is a plain count — already canonical.
+COUNT_WORKLOADS = ("tc", "gm")
+#: Workloads returning a list of vertex groups (communities/clusters).
+GROUP_WORKLOADS = ("cd", "gc")
+
+
+def permute_graph(graph: Graph, seed: int) -> Tuple[Graph, Dict[int, int]]:
+    """Copy ``graph`` with vertex ids randomly permuted.
+
+    The permutation shuffles the *same* id set, so the universe is
+    unchanged but every adjacency list, partition block and task seed
+    order is scrambled.  Labels and attributes travel with their
+    vertices.  Returns ``(new_graph, mapping)`` with ``mapping`` from
+    old id to new id.
+    """
+    vids = sorted(graph.vertices())
+    shuffled = list(vids)
+    random.Random(seed).shuffle(shuffled)
+    mapping = dict(zip(vids, shuffled))
+    edges = [
+        (mapping[u], mapping[v])
+        for u in vids
+        for v in graph.neighbors(u)
+        if u < v
+    ]
+    out = Graph.from_edges(edges, vertices=[mapping[v] for v in vids])
+    labels = {mapping[v]: graph.label(v) for v in vids if graph.label(v)}
+    if labels:
+        out.set_labels(labels)
+    attrs = {mapping[v]: graph.attributes(v) for v in vids if graph.attributes(v)}
+    if attrs:
+        out.set_all_attributes(attrs)
+    return out, mapping
+
+
+def monotone_relabel(
+    graph: Graph, stride: int = 3, offset: int = 1001
+) -> Tuple[Graph, Dict[int, int]]:
+    """Copy ``graph`` with ids remapped order-preservingly.
+
+    ``vid -> offset + stride * rank(vid)`` keeps the *relative* order
+    of every pair of vertices while changing every absolute id (and,
+    with it, hash partitioning and id-keyed data structures).  This is
+    the right relabelling for algorithms that are anchored at minimum
+    vertex ids or break ties by id — seed-anchored community growth is
+    invariant under order-preserving relabellings but not arbitrary
+    permutations.  Returns ``(new_graph, mapping)``.
+    """
+    vids = sorted(graph.vertices())
+    mapping = {v: offset + stride * rank for rank, v in enumerate(vids)}
+    edges = [
+        (mapping[u], mapping[v])
+        for u in vids
+        for v in graph.neighbors(u)
+        if u < v
+    ]
+    out = Graph.from_edges(edges, vertices=[mapping[v] for v in vids])
+    labels = {mapping[v]: graph.label(v) for v in vids if graph.label(v)}
+    if labels:
+        out.set_labels(labels)
+    attrs = {mapping[v]: graph.attributes(v) for v in vids if graph.attributes(v)}
+    if attrs:
+        out.set_all_attributes(attrs)
+    return out, mapping
+
+
+def normalize_value(
+    workload: str,
+    value: Any,
+    mapping: Optional[Mapping[int, int]] = None,
+) -> Any:
+    """Canonicalise a mining result for cross-run comparison.
+
+    ``mapping`` translates vertex ids (e.g. undoing a permutation)
+    before canonicalisation.  Counts pass through; the max-clique
+    result normalises to its *size* because equally-sized maximum
+    cliques are interchangeable; community/cluster lists normalise to
+    a sorted list of sorted member tuples.
+    """
+    if workload in COUNT_WORKLOADS:
+        # a run in which no task reported (nothing to count) is the
+        # count zero — JobResult.value is None when no results exist
+        return value if value is not None else 0
+    if workload == "mcf":
+        return len(value) if value is not None else 0
+    if workload in GROUP_WORKLOADS:
+        remap = mapping if mapping is not None else {}
+        groups: List[Tuple[int, ...]] = [
+            tuple(sorted(remap.get(v, v) for v in group))
+            for group in (value or [])
+        ]
+        return sorted(groups)
+    raise ValueError(f"unknown workload {workload!r}")

@@ -1,18 +1,60 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and builders for the test suite.
 
 Small deterministic graphs and cluster specs keep the tests fast; the
 scaled datasets (`*-s`) are reserved for the integration tests that
 compare distributed results against sequential oracles.
+
+``make_clustered_graph`` / ``make_cluster_config`` are the one true
+source of the standard pipeline-test graph and job config — the worker,
+chaos, integration, verify and metamorphic suites all build on them
+instead of repeating the construction.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core import GMinerConfig, GMinerJob, JobStatus
 from repro.graph.generators import preferential_attachment_graph, random_labels
 from repro.graph.graph import Graph
 from repro.sim.cluster import ClusterSpec
 from repro.sim.engine import Simulator
+
+
+def make_clustered_graph(
+    labeled: bool = False,
+    n: int = 120,
+    m: int = 6,
+    triangle_prob: float = 0.6,
+    seed: int = 42,
+    max_degree: int = 30,
+) -> Graph:
+    """The standard seeded clustered graph for pipeline tests."""
+    graph = preferential_attachment_graph(
+        n=n, m=m, triangle_prob=triangle_prob, seed=seed, max_degree=max_degree
+    )
+    if labeled:
+        random_labels(graph, alphabet=tuple("abcde"), seed=3)
+    return graph
+
+
+def make_cluster_config(
+    num_nodes: int = 4, cores_per_node: int = 2, **overrides
+) -> GMinerConfig:
+    """The standard small-cluster job config, with knob overrides."""
+    return GMinerConfig(
+        cluster=ClusterSpec(num_nodes=num_nodes, cores_per_node=cores_per_node)
+    ).replace(**overrides)
+
+
+def run_job(app, graph, spec, *, expect_ok: bool = True, **overrides):
+    """Run one job on ``spec`` and return ``(job, result)``."""
+    config = GMinerConfig(cluster=spec).replace(**overrides)
+    job = GMinerJob(app, graph, config)
+    result = job.run()
+    if expect_ok:
+        assert result.status is JobStatus.OK
+    return job, result
 
 
 @pytest.fixture
@@ -34,15 +76,12 @@ def tiny_graph():
 @pytest.fixture
 def small_social_graph():
     """A seeded 120-vertex clustered graph for pipeline tests."""
-    return preferential_attachment_graph(
-        n=120, m=6, triangle_prob=0.6, seed=42, max_degree=30
-    )
+    return make_clustered_graph()
 
 
 @pytest.fixture
-def small_labeled_graph(small_social_graph):
-    random_labels(small_social_graph, alphabet=tuple("abcde"), seed=3)
-    return small_social_graph
+def small_labeled_graph():
+    return make_clustered_graph(labeled=True)
 
 
 @pytest.fixture

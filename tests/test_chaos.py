@@ -22,29 +22,23 @@ import random
 import pytest
 
 from repro.apps import GraphMatchingApp, MaxCliqueApp, TriangleCountingApp
-from repro.core import GMinerConfig, GMinerJob, JobStatus
-from repro.graph.generators import preferential_attachment_graph, random_labels
-from repro.sim.cluster import ClusterSpec
+from repro.core import GMinerJob, JobStatus
 from repro.sim.failures import FailurePlan
+from tests.conftest import make_cluster_config, make_clustered_graph
 
 NUM_NODES = 4
 CHAOS_SEEDS = int(os.environ.get("REPRO_CHAOS_SEEDS", "20"))
 
+pytestmark = pytest.mark.chaos
+
 
 def make_graph(labeled: bool = False):
-    graph = preferential_attachment_graph(
-        n=120, m=6, triangle_prob=0.6, seed=42, max_degree=30
-    )
-    if labeled:
-        random_labels(graph, alphabet=tuple("abcde"), seed=3)
-    return graph
+    return make_clustered_graph(labeled=labeled)
 
 
 def make_config():
-    return GMinerConfig(
-        cluster=ClusterSpec(num_nodes=NUM_NODES, cores_per_node=2),
-        checkpoint_interval=0.02,
-        time_limit=120.0,
+    return make_cluster_config(
+        num_nodes=NUM_NODES, checkpoint_interval=0.02, time_limit=120.0
     )
 
 

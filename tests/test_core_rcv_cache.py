@@ -142,3 +142,81 @@ class TestAblationPolicies:
         assert CachePolicy("rcv") is CachePolicy.RCV
         assert CachePolicy("lru") is CachePolicy.LRU
         assert CachePolicy("fifo") is CachePolicy.FIFO
+
+
+class TestEvictionRacingMigration:
+    """The eviction/migration race: a task migrating out releases its
+    cached vertices, pressure evicts them, and the task (or a twin)
+    arrives back expecting them.  The cache's contract is that the
+    returning side must probe (``lookup``) before pinning (``addref``)
+    — these tests pin each leg of that protocol."""
+
+    def test_released_vertex_evicted_while_task_in_transit(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=1)  # pinned by the departing task
+        cache.release(1)  # migrate-out: pins dropped, data retained
+        assert 1 in cache
+        # memory pressure while the task is on the wire
+        cache.insert(vd(2), refs=1)
+        cache.insert(vd(3), refs=1)
+        assert 1 not in cache
+        assert cache.evictions == 1
+
+    def test_addref_after_eviction_is_an_error_not_a_resurrection(self):
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=1)
+        cache.release(1)
+        cache.insert(vd(2), refs=1)
+        cache.insert(vd(3), refs=1)  # evicts 1
+        with pytest.raises(KeyError):
+            cache.addref(1)  # blind re-pin must fail loudly
+
+    def test_migrate_in_probes_then_reinserts(self):
+        cache = RCVCache(capacity_bytes=3 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=1)
+        cache.release(1)
+        cache.insert(vd(2), refs=1)
+        cache.insert(vd(3), refs=1)
+        cache.insert(vd(4), refs=0)  # evicts the released 1
+        assert 1 not in cache
+        # the migrated-in task probes, misses, re-pulls and re-inserts
+        # (evicting the idle 4 to make room)
+        assert cache.lookup(1) is None
+        assert cache.misses == 1
+        assert cache.insert(vd(1), refs=2)
+        assert cache.refs(1) == 2
+
+    def test_pinned_vertex_survives_the_transit_window(self):
+        # a second local task still references the vertex: the migration
+        # of the first must not expose it to eviction
+        cache = RCVCache(capacity_bytes=2 * SIZE, policy=CachePolicy.RCV)
+        cache.insert(vd(1), refs=2)  # two tasks share it
+        cache.release(1)  # one migrates out
+        assert not cache.insert(vd(2), refs=1) or 1 in cache
+        cache.insert(vd(3), refs=0)
+        assert 1 in cache  # still pinned by the stayer
+        assert cache.refs(1) == 1
+
+    def test_race_is_exercised_end_to_end(self):
+        """A real job under cache pressure with stealing on: evictions
+        and migrations both happen, and the result is still exact."""
+        from repro.apps import TriangleCountingApp
+        from repro.graph.algorithms import triangle_count_exact
+        from repro.sim.cluster import ClusterSpec
+        from tests.conftest import make_clustered_graph, run_job
+
+        graph = make_clustered_graph()
+        # single-core nodes with tiny caches and tiny store blocks:
+        # skewed BDG partitions leave some workers idle while others
+        # still hold stealable (non-head-block) tasks
+        spec = ClusterSpec(num_nodes=4, cores_per_node=1)
+        job, result = run_job(
+            TriangleCountingApp(), graph, spec,
+            partitioner="bdg", cache_capacity_bytes=2048,
+            store_block_tasks=2, steal_batch=4,
+            steal_local_rate_threshold=2.0, steal_cost_threshold=1e9,
+            steal_retry_interval=0.002,
+        )
+        assert result.value == triangle_count_exact(graph)
+        assert sum(c.evictions for w in job.workers for c in w.caches) > 0
+        assert sum(w.stats.tasks_migrated_in for w in job.workers) > 0

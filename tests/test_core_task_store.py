@@ -169,6 +169,78 @@ class TestStealing:
         assert len(stolen) == 3
 
 
+class TestSpillReloadRoundTrip:
+    """Spilling a block to disk and loading it back must be lossless:
+    same tasks, same pull sets, same sizes, nothing reordered within a
+    block, nothing duplicated."""
+
+    def _drain(self, sim, store, expect):
+        popped = []
+
+        def pump():
+            while (t := store.pop()) is not None:
+                popped.append(t)
+            if len(popped) < expect:
+                assert store.loading or sim.pending()
+
+        store._notify = pump
+        pump()
+        sim.run()
+        return popped
+
+    def test_round_trip_preserves_task_identity_and_state(self, sim, disk):
+        store = make_store(disk, block_tasks=2, lsh=False)
+        tasks = [StubTask([i, i + 100], size=50 + i) for i in range(8)]
+        store.insert_batch(tasks)
+        assert store.disk_spills >= 1
+        popped = self._drain(sim, store, len(tasks))
+        assert len(popped) == len(tasks)
+        by_id = {t.task_id: t for t in tasks}
+        for task in popped:
+            original = by_id.pop(task.task_id)
+            assert task is original  # the very same object comes back
+            assert task.to_pull == original.to_pull
+            assert task.estimate_size() == original.estimate_size()
+        assert not by_id  # nothing lost, nothing duplicated
+
+    def test_reload_actually_reads_the_disk(self, sim, disk):
+        store = make_store(disk, block_tasks=2, lsh=False)
+        store.insert_batch([StubTask([i]) for i in range(8)])
+        written = disk.bytes_written.total
+        assert written > 0
+        self._drain(sim, store, 8)
+        assert store.disk_loads >= 1
+        assert disk.bytes_read.total > 0
+
+    def test_drain_all_recovers_spilled_tasks(self, sim, disk):
+        store = make_store(disk, block_tasks=2, lsh=False)
+        tasks = [StubTask([i]) for i in range(8)]
+        store.insert_batch(tasks)
+        assert store.disk_spills >= 1
+        drained = store.drain_all()
+        assert {t.task_id for t in drained} == {t.task_id for t in tasks}
+        assert len(store) == 0
+
+    def test_peek_all_sees_spilled_tasks(self, sim, disk):
+        store = make_store(disk, block_tasks=2, lsh=False)
+        tasks = [StubTask([i]) for i in range(8)]
+        store.insert_batch(tasks)
+        assert {t.task_id for t in store.peek_all()} == {
+            t.task_id for t in tasks
+        }
+        assert len(store) == 8  # non-destructive even for disk blocks
+
+    def test_steal_reaches_spilled_blocks(self, sim, disk):
+        store = make_store(disk, block_tasks=2, lsh=False)
+        store.insert_batch([StubTask([i]) for i in range(10)])
+        assert store.disk_spills >= 1
+        stolen = store.steal_batch(100, 1e9, 2.0, lambda t: 0.0)
+        # everything but the protected head block is up for migration,
+        # including tasks currently resident on disk
+        assert len(stolen) >= 6
+        assert len(store) + len(stolen) == 10
+
+
 class TestSnapshotting:
     def test_peek_all_preserves_contents(self, disk):
         store = make_store(disk)

@@ -5,6 +5,10 @@ deterministic) dataset registry.  Any change to a generator, a kernel,
 or the pipeline that alters a mining *result* — as opposed to its
 performance — trips one of these immediately, and the values are the
 ones EXPERIMENTS.md quotes.
+
+To refresh after an intentional result change::
+
+    PYTHONPATH=src python tests/regen_golden.py
 """
 
 import pytest
@@ -13,6 +17,9 @@ from repro.bench.runner import prepare_dataset, run
 from repro.mining.cost import WorkMeter
 from repro.mining.graphlets import graphlet_count_sequential
 from repro.sim.cluster import ClusterSpec
+from tests.regen_golden import group_digest
+
+pytestmark = pytest.mark.golden
 
 SPEC = ClusterSpec(num_nodes=4, cores_per_node=4)
 
@@ -56,11 +63,31 @@ def test_pattern_match_counts(dataset):
     assert result.value == expected
 
 
+#: workload/dataset -> digest of the exact community/cluster membership
+#: (canonicalised by ``regen_golden.group_digest``).  Unlike the count
+#: above, these trip on any change to *which vertices* end up grouped
+#: together, not just how many groups exist.
+GOLDEN_GROUP_DIGESTS = {
+    "cd/dblp-s": "fb2daacc036ef107",
+    "cd/tencent-s": "4a43e03aece82584",
+    "gc/dblp-s": "d9d3a1ff604d94db",
+    "gc/tencent-s": "d475dff4bdad0b39",
+}
+
+
 @pytest.mark.parametrize("dataset", sorted(GOLDEN_COMMUNITIES))
 def test_community_counts(dataset):
     result = run(workload="cd", dataset=dataset, spec=SPEC, time_limit=None)
     assert result.ok
     assert len(result.value) == GOLDEN_COMMUNITIES[dataset]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_GROUP_DIGESTS))
+def test_group_memberships_exact(key):
+    workload, dataset = key.split("/")
+    result = run(workload=workload, dataset=dataset, spec=SPEC, time_limit=None)
+    assert result.ok
+    assert group_digest(result.value) == GOLDEN_GROUP_DIGESTS[key]
 
 
 #: workload/dataset -> exact work units of the single-thread baseline.

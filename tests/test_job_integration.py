@@ -10,7 +10,7 @@ from repro.apps import (
     MaxCliqueApp,
     TriangleCountingApp,
 )
-from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.core import JobStatus
 from repro.graph.algorithms import is_clique, triangle_count_exact
 from repro.graph.datasets import load_dataset
 from repro.mining.clustering import FocusParams, focused_clustering_sequential
@@ -18,15 +18,7 @@ from repro.mining.community import CommunityParams, community_detection_sequenti
 from repro.mining.cost import WorkMeter
 from repro.mining.matching import graph_matching_sequential
 from repro.mining.patterns import PAPER_PATTERN
-from tests.conftest import adjacency_of, attributes_of, labels_of
-
-
-def run_job(app, graph, spec, **overrides):
-    config = GMinerConfig(cluster=spec).replace(**overrides)
-    job = GMinerJob(app, graph, config)
-    result = job.run()
-    assert result.status is JobStatus.OK
-    return job, result
+from tests.conftest import adjacency_of, attributes_of, labels_of, run_job
 
 
 class TestTriangleCounting:

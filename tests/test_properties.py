@@ -2,6 +2,7 @@
 invariants: graph construction, subgraph split, LSH, the RCV cache,
 the task store, partitioners, and kernel cross-checks."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +16,8 @@ from repro.mining.cliques import SharedBound, max_clique_sequential, maximal_cli
 from repro.mining.cost import WorkMeter
 from repro.mining.triangles import triangle_count_sequential
 from repro.partitioning import BDGPartitioner, HashPartitioner
+
+pytestmark = pytest.mark.property
 
 settings.register_profile(
     "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]

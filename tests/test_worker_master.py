@@ -4,17 +4,15 @@ inspecting internal state the coarse integration tests don't reach."""
 import pytest
 
 from repro.apps import MaxCliqueApp, TriangleCountingApp
-from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.core import JobStatus
 from repro.core.task import TaskStatus
 from repro.graph.algorithms import triangle_count_exact
 from repro.sim.cluster import ClusterSpec
+from tests.conftest import run_job
 
 
 def run(app, graph, spec, **overrides):
-    config = GMinerConfig(cluster=spec).replace(**overrides)
-    job = GMinerJob(app, graph, config)
-    result = job.run()
-    return job, result
+    return run_job(app, graph, spec, expect_ok=False, **overrides)
 
 
 class TestPipelineMechanics:
