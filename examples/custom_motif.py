@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compiling a custom motif: from pattern vocabulary to a mining job.
+
+No hand-written application exists for the "tailed triangle" (a
+triangle with a pendant vertex), and none is needed: describe it as a
+tree skeleton plus one extra edge, let the compiler derive the
+symmetry-broken execution plan, and run it on the same task pipeline
+as every built-in workload.  The count is cross-checked against the
+brute-force oracle.
+
+Run:  python examples/custom_motif.py
+"""
+
+import repro
+from repro.core import GMinerConfig
+from repro.graph.generators import preferential_attachment_graph
+from repro.mining import make_pattern
+from repro.plans import (
+    PatternQuery,
+    compile_pattern,
+    count_embeddings_bruteforce,
+    motif,
+)
+from repro.sim.cluster import ClusterSpec
+
+
+def main() -> None:
+    graph = preferential_attachment_graph(
+        n=400, m=6, triangle_prob=0.6, seed=11, max_degree=50
+    )
+    print(f"input graph: {graph}")
+
+    # 1. The pattern, as a query: a wildcard tree skeleton — root with
+    #    two children, one grandchild — plus one extra edge closing the
+    #    triangle between the root's children.  symmetry="auto" counts
+    #    each tailed triangle exactly once (the named motif
+    #    motif("tailed-triangle") is this same query).
+    skeleton = make_pattern("*", [("*", 0), ("*", 0)], [("*", 0)])
+    query = PatternQuery(
+        pattern=skeleton, edges=((1, 2),), symmetry="auto",
+        name="tailed-triangle",
+    )
+
+    # 2. Compile it.  The compiler enumerates the pattern's
+    #    automorphisms, breaks them with order constraints, and derives
+    #    a connected, degree-greedy extension order; the final step is
+    #    fused into a count (no last-level pull).
+    plan = compile_pattern(query)
+    print("\ncompiled plan:")
+    print(plan.describe())
+
+    # 3. Run it — same call as any built-in workload.
+    config = GMinerConfig(cluster=ClusterSpec(num_nodes=4, cores_per_node=4))
+    result = repro.mine(graph, pattern=plan, config=config)
+    print(f"status          : {result.status.value}")
+    print(f"tailed triangles: {result.value}")
+    print(f"simulated time  : {result.total_seconds:.3f}s")
+    print(f"network traffic : {result.network_bytes / 1e6:.2f} MB")
+
+    # 4. Verify against the plan-free brute-force oracle.
+    expected = count_embeddings_bruteforce(query, graph)
+    assert (result.value or 0) == expected, (result.value, expected)
+    print(f"oracle agrees   : {expected}")
+
+    # The same motif is registered by name, and labelled or
+    # attribute-constrained variants are one keyword away:
+    named = repro.mine(graph, pattern="tailed-triangle", config=config)
+    assert named.value == result.value
+    print(f"named motif     : {sorted(repro.plans.MOTIFS)}")
+
+
+if __name__ == "__main__":
+    main()

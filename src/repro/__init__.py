@@ -3,19 +3,27 @@
 
 Public API at a glance::
 
-    from repro import GMinerJob, GMinerConfig, ClusterSpec
-    from repro.apps import TriangleCountingApp
+    import repro
     from repro.graph.datasets import load_dataset
 
     graph = load_dataset("orkut-s").graph
-    result = GMinerJob(TriangleCountingApp(), graph,
-                       GMinerConfig(cluster=ClusterSpec(num_nodes=15,
-                                                        cores_per_node=4))).run()
+    result = repro.mine(graph, workload="tc")          # built-in plan
+    result = repro.mine(graph, pattern="tailed-triangle")  # any motif
+
+:func:`repro.mine` is the single mining entrypoint: workload names
+resolve to the six built-in plans (the paper's applications, executed
+by their legacy growers), and any other pattern — a named motif, a
+:class:`~repro.mining.patterns.TreePattern` or a
+:class:`~repro.plans.PatternQuery` — is compiled by
+:mod:`repro.plans` into a symmetry-broken execution plan run by the
+generic grower.  The lower-level job API (``GMinerJob(app, graph,
+config).run()``) stays public for custom applications.
 
 Sub-packages: :mod:`repro.sim` (simulated cluster), :mod:`repro.graph`
 (graphs, datasets), :mod:`repro.partitioning`, :mod:`repro.mining`
-(pure kernels), :mod:`repro.core` (the system), :mod:`repro.apps`
-(the paper's five applications), :mod:`repro.baselines` (comparison
+(pure kernels), :mod:`repro.plans` (the pattern compiler behind
+:func:`repro.mine`), :mod:`repro.core` (the system), :mod:`repro.apps`
+(the paper's applications), :mod:`repro.baselines` (comparison
 systems) and :mod:`repro.bench` (the table/figure harness).
 """
 
@@ -33,22 +41,27 @@ from repro.core import (
 )
 from repro.graph.graph import Graph, VertexData
 from repro.sim.cluster import ClusterSpec
+from repro.plans import ExecutionPlan, PatternQuery, compile_pattern, mine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Aggregator",
     "ClusterSpec",
+    "ExecutionPlan",
     "GMinerApp",
     "GMinerConfig",
     "GMinerJob",
     "Graph",
     "JobResult",
     "JobStatus",
+    "PatternQuery",
     "Subgraph",
     "Task",
     "TaskEnv",
     "TaskStatus",
     "VertexData",
     "__version__",
+    "compile_pattern",
+    "mine",
 ]

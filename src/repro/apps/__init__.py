@@ -13,6 +13,12 @@
 
 Each exposes the same knobs the paper's experiments use and reuses the
 pure kernels of :mod:`repro.mining`.
+
+The per-workload entry points (:func:`count_triangles`,
+:func:`find_max_clique`, ...) are thin wrappers over
+:func:`repro.mine` with the workload name fixed — one keyword-only
+call per paper application, all returning
+:class:`~repro.core.job.JobResult`.
 """
 
 from repro.apps.triangle_counting import TriangleCountingApp, TCTask
@@ -21,6 +27,46 @@ from repro.apps.graph_matching import GraphMatchingApp, GMTask
 from repro.apps.community_detection import CommunityDetectionApp, CDTask
 from repro.apps.graph_clustering import GraphClusteringApp, GCTask
 from repro.apps.graphlet_counting import GraphletCountingApp, GLTask
+
+
+def _mine_workload(workload, graph, kwargs):
+    from repro.plans.api import mine
+
+    return mine(graph, workload=workload, **kwargs)
+
+
+def count_triangles(graph, **kwargs):
+    """``repro.mine(graph, workload="tc", ...)``: exact triangle count."""
+    return _mine_workload("tc", graph, kwargs)
+
+
+def find_max_clique(graph, **kwargs):
+    """``repro.mine(graph, workload="mcf", ...)``: the maximum clique."""
+    return _mine_workload("mcf", graph, kwargs)
+
+
+def match_pattern(graph, **kwargs):
+    """``repro.mine(graph, workload="gm", ...)``: labelled tree-pattern
+    embedding count (``pattern=`` overrides Figure 1's default)."""
+    return _mine_workload("gm", graph, kwargs)
+
+
+def detect_communities(graph, **kwargs):
+    """``repro.mine(graph, workload="cd", ...)``: community list."""
+    return _mine_workload("cd", graph, kwargs)
+
+
+def cluster_graph(graph, **kwargs):
+    """``repro.mine(graph, workload="gc", ...)``: focused clusters
+    (``exemplars=``/``exemplar_attributes=`` choose the focus)."""
+    return _mine_workload("gc", graph, kwargs)
+
+
+def count_graphlets(graph, **kwargs):
+    """``repro.mine(graph, workload="gl", ...)``: size-``k`` graphlet
+    histogram."""
+    return _mine_workload("gl", graph, kwargs)
+
 
 __all__ = [
     "TriangleCountingApp",
@@ -35,4 +81,10 @@ __all__ = [
     "GCTask",
     "GraphletCountingApp",
     "GLTask",
+    "count_triangles",
+    "find_max_clique",
+    "match_pattern",
+    "detect_communities",
+    "cluster_graph",
+    "count_graphlets",
 ]

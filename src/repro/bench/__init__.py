@@ -10,7 +10,9 @@ experiment defaults; batches of cells fan out over host cores via
 each returning an :class:`ExperimentReport` that the ``benchmarks/``
 suite executes and EXPERIMENTS.md records.
 
-``run_system``/``run_gminer`` are deprecated shims over :func:`run`.
+The pre-``run()`` shims (``run_system``/``run_gminer``) are removed:
+the names survive only in :mod:`repro.bench.runner` as tombstones that
+raise ``TypeError`` pointing at :func:`run`.
 """
 
 from repro.bench.runner import (
@@ -21,9 +23,7 @@ from repro.bench.runner import (
     execute_request,
     prepare_dataset,
     run,
-    run_gminer,
     run_many,
-    run_system,
 )
 from repro.bench.report import ExperimentReport, format_cell, render_table
 from repro.bench import experiments
@@ -36,9 +36,7 @@ __all__ = [
     "execute_request",
     "prepare_dataset",
     "run",
-    "run_gminer",
     "run_many",
-    "run_system",
     "ExperimentReport",
     "format_cell",
     "render_table",

@@ -3,16 +3,16 @@
 Serialisation now lives on the result types themselves —
 :meth:`repro.core.job.JobResult.to_dict` and
 :meth:`repro.bench.report.ExperimentReport.to_dict` — so results
-round-trip without importing this module.  The functions here are kept
-as thin shims for existing pipelines (:func:`job_result_to_dict` warns)
-plus :func:`save_json`, the one piece that is genuinely about files.
+round-trip without importing this module.  What remains here is
+:func:`save_json`/:func:`save_report`, the pieces genuinely about
+files; the deprecated :func:`job_result_to_dict` path has completed
+its cycle and now raises ``TypeError`` naming the replacement.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import warnings
 from typing import Any, Dict
 
 from repro.bench.report import ExperimentReport
@@ -23,13 +23,11 @@ _jsonable = jsonable
 
 
 def job_result_to_dict(result: JobResult, bins: int = 20) -> Dict[str, Any]:
-    """Deprecated: use :meth:`JobResult.to_dict` instead."""
-    warnings.warn(
-        "job_result_to_dict() is deprecated; use JobResult.to_dict() instead",
-        DeprecationWarning,
-        stacklevel=2,
+    """Removed: use :meth:`JobResult.to_dict` instead."""
+    raise TypeError(
+        "job_result_to_dict() has been removed; call "
+        "JobResult.to_dict(bins=...) on the result instead"
     )
-    return result.to_dict(bins=bins)
 
 
 def experiment_report_to_dict(report: ExperimentReport) -> Dict[str, Any]:

@@ -9,13 +9,13 @@ The one public entrypoint is :func:`run` — keyword-only, built on
 ships to pool workers.  :func:`execute_request` is the single place a
 cell actually executes, whether called inline, by the ambient
 :class:`~repro.parallel.ParallelRunner`, or inside a child process.
-The legacy ``run_system``/``run_gminer`` pair still works but emits
-``DeprecationWarning``.
+The legacy ``run_system``/``run_gminer`` pair has completed its
+deprecation cycle: calling either raises ``TypeError`` naming the
+replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, List, Optional, Sequence, Union
 
 from repro.apps import (
@@ -233,58 +233,23 @@ def run_many(
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims (the pre-`run()` API)
+# Removed shims (the pre-`run()` API).  The deprecation cycle is over:
+# the names remain importable so stale call sites fail with an
+# actionable TypeError instead of an AttributeError.
 # ----------------------------------------------------------------------
 
 
-def run_gminer(
-    app: str,
-    dataset_name: str,
-    spec: Optional[ClusterSpec] = None,
-    config: Optional[GMinerConfig] = None,
-    time_limit: Optional[float] = DEFAULT_TIME_LIMIT,
-    failure_plan: Optional[FailurePlan] = None,
-    **config_overrides,
-) -> JobResult:
-    """Deprecated: use ``run(system="gminer", workload=..., dataset=...)``."""
-    warnings.warn(
-        "run_gminer() is deprecated; use repro.bench.run(system='gminer', "
-        "workload=..., dataset=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(
-        system="gminer",
-        workload=app,
-        dataset=dataset_name,
-        spec=spec,
-        config=config,
-        time_limit=time_limit,
-        failure_plan=failure_plan,
-        **config_overrides,
+def run_gminer(*args: Any, **kwargs: Any) -> JobResult:
+    """Removed: use ``run(system="gminer", workload=..., dataset=...)``."""
+    raise TypeError(
+        "run_gminer() has been removed; call repro.bench.run("
+        "system='gminer', workload=..., dataset=...) instead"
     )
 
 
-def run_system(
-    system: str,
-    app: str,
-    dataset_name: str,
-    spec: Optional[ClusterSpec] = None,
-    time_limit: Optional[float] = DEFAULT_TIME_LIMIT,
-    **gminer_overrides,
-) -> Optional[JobResult]:
-    """Deprecated: use ``run(system=..., workload=..., dataset=...)``."""
-    warnings.warn(
-        "run_system() is deprecated; use repro.bench.run(system=..., "
-        "workload=..., dataset=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run(
-        system=system,
-        workload=app,
-        dataset=dataset_name,
-        spec=spec,
-        time_limit=time_limit,
-        **gminer_overrides,
+def run_system(*args: Any, **kwargs: Any) -> Optional[JobResult]:
+    """Removed: use ``run(system=..., workload=..., dataset=...)``."""
+    raise TypeError(
+        "run_system() has been removed; call repro.bench.run("
+        "system=..., workload=..., dataset=...) instead"
     )

@@ -960,7 +960,21 @@ class SimWorker:
         if not self.node.alive or not self._seeding_done:
             return
         self._flush_buffer(force=True)
-        tasks = [copy.deepcopy(t) for t in self.live_tasks.values()]
+        # a task can be finished but still in live_tasks: its last round
+        # has run (state mutates at core dispatch) while the completion
+        # callback that records the result and kills it fires only after
+        # the round's simulated duration.  Snapshotting it as *live*
+        # would make a restore re-execute a round past its lifetime (and
+        # lose the result, which is not in self.results yet) — so it is
+        # checkpointed as completed instead
+        tasks = []
+        results = dict(self.results)
+        for t in self.live_tasks.values():
+            if t.finished:
+                if t.result is not None:
+                    results[t.task_id] = t.result
+            else:
+                tasks.append(copy.deepcopy(t))
         # sender-side logging: unacked outbound migrations are still
         # this worker's responsibility — without them, a crash after a
         # lost migration message would lose the tasks forever
@@ -968,7 +982,7 @@ class SimWorker:
             tasks.extend(copy.deepcopy(t) for t in pending.migration.tasks)
         snapshot = {
             "tasks": tasks,
-            "results": dict(self.results),
+            "results": results,
             "agg_partial": copy.deepcopy(self.agg.local_partial) if self.agg else None,
             # the migration dedup ledger is durable state: it must stay
             # consistent with the task snapshot, else a retransmission

@@ -25,7 +25,12 @@ from repro.mining.cliques import (
     max_clique_sequential,
     maximal_cliques,
 )
-from repro.mining.patterns import TreePattern, PAPER_PATTERN
+from repro.mining.patterns import (
+    PAPER_PATTERN,
+    PatternValidationError,
+    TreePattern,
+    make_pattern,
+)
 from repro.mining.matching import (
     count_embeddings_from_seed,
     match_level,
@@ -59,6 +64,8 @@ __all__ = [
     "max_clique_sequential",
     "maximal_cliques",
     "TreePattern",
+    "PatternValidationError",
+    "make_pattern",
     "PAPER_PATTERN",
     "count_embeddings_from_seed",
     "match_level",

@@ -19,6 +19,35 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 
+class PatternValidationError(ValueError):
+    """A pattern failed validation, with structured error records.
+
+    ``errors`` is a tuple of ``(code, message)`` pairs, one per problem
+    found — validation collects *every* defect in one pass instead of
+    stopping at the first.  Codes:
+
+    * ``empty-label`` — the root or a node label is not a non-empty
+      string;
+    * ``empty-level`` — a level declares zero nodes;
+    * ``unreachable-level`` — a level follows an empty one, so none of
+      its nodes can have a parent;
+    * ``bad-parent`` — a node's parent index does not point at a node
+      in the previous level.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError`` /
+    ``pytest.raises(ValueError)`` call sites keep working.
+    """
+
+    def __init__(self, errors: Sequence[Tuple[str, str]]) -> None:
+        self.errors: Tuple[Tuple[str, str], ...] = tuple(errors)
+        detail = "; ".join(f"[{code}] {message}" for code, message in self.errors)
+        super().__init__(f"invalid pattern: {detail}")
+
+    @property
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(code for code, _ in self.errors)
+
+
 @dataclass(frozen=True)
 class PatternNode:
     """One pattern vertex: its label and its parent's index one level up."""
@@ -56,16 +85,55 @@ class TreePattern:
         return self.levels[round_index - 1]
 
     def validate(self) -> None:
+        """Check structural well-formedness; raise
+        :class:`PatternValidationError` listing *all* problems at once.
+
+        Duplicate sibling ``(label, parent)`` pairs are deliberately
+        legal: they denote symmetric pattern nodes, and the matcher
+        counts their permutations as distinct embeddings (the
+        sibling-permutation semantics the GM tests pin).
+        """
+        errors: List[Tuple[str, str]] = []
+        if not isinstance(self.root_label, str) or not self.root_label:
+            errors.append(
+                ("empty-label", f"root label must be a non-empty string, "
+                                f"got {self.root_label!r}")
+            )
         prev_size = 1
+        empty_at: int = 0  # depth of the first empty level, 0 = none yet
         for depth, level in enumerate(self.levels, start=1):
+            if empty_at:
+                errors.append(
+                    ("unreachable-level",
+                     f"level {depth} is unreachable: level {empty_at} "
+                     f"has zero nodes")
+                )
+                continue
             if not level:
-                raise ValueError(f"level {depth} is empty")
-            for node in level:
-                if not 0 <= node.parent < prev_size:
-                    raise ValueError(
-                        f"level {depth} node {node} has bad parent index"
+                errors.append(
+                    ("empty-level", f"level {depth} has zero nodes")
+                )
+                empty_at = depth
+                continue
+            for position, node in enumerate(level):
+                if not isinstance(node.label, str) or not node.label:
+                    errors.append(
+                        ("empty-label",
+                         f"level {depth} node {position} label must be a "
+                         f"non-empty string, got {node.label!r}")
+                    )
+                if not (
+                    isinstance(node.parent, int)
+                    and 0 <= node.parent < prev_size
+                ):
+                    errors.append(
+                        ("bad-parent",
+                         f"level {depth} node {position} parent index "
+                         f"{node.parent!r} is not in 0..{prev_size - 1}")
                     )
             prev_size = len(level)
+        if errors:
+            raise PatternValidationError(errors)
 
 
 def make_pattern(root_label: str, *levels: Sequence[Tuple[str, int]]) -> TreePattern:

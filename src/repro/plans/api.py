@@ -1,0 +1,104 @@
+"""``repro.mine`` — the one public mining entrypoint.
+
+Everything the six hand-written applications did, plus arbitrary
+motifs, behind a single keyword-only call::
+
+    import repro
+
+    repro.mine(graph, workload="tc")                  # built-in plan
+    repro.mine(graph, pattern="tailed-triangle")      # named motif
+    repro.mine(graph, pattern=my_tree_pattern)        # tree matching
+    repro.mine(graph, pattern=PatternQuery(...))      # full vocabulary
+
+Workload names resolve to the legacy applications (bit-identical to
+the historical entry points); every other pattern spelling goes
+through the plan compiler and the generic executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.config import GMinerConfig
+from repro.core.job import GMinerJob, JobResult
+from repro.graph.graph import Graph
+from repro.mining.patterns import TreePattern
+from repro.plans.builtins import builtin_plan
+from repro.plans.compiler import ExecutionPlan, compile_pattern
+from repro.plans.executor import PlanApp
+from repro.plans.query import PatternQuery, motif
+
+
+def resolve_pattern(pattern: Any) -> ExecutionPlan:
+    """Turn any accepted pattern spelling into an execution plan.
+
+    Strings name motifs (``ValueError`` for unknown names); a
+    :class:`TreePattern` compiles with the legacy matcher semantics; a
+    :class:`PatternQuery` compiles as-is; an :class:`ExecutionPlan`
+    passes through.
+    """
+    if isinstance(pattern, ExecutionPlan):
+        return pattern
+    if isinstance(pattern, str):
+        return compile_pattern(motif(pattern))
+    if isinstance(pattern, (TreePattern, PatternQuery)):
+        return compile_pattern(pattern)
+    raise TypeError(
+        "pattern must be a motif name, TreePattern, PatternQuery or "
+        f"ExecutionPlan, got {type(pattern).__name__}"
+    )
+
+
+def mine(
+    graph: Graph,
+    *,
+    pattern: Any = None,
+    workload: Optional[str] = None,
+    config: Optional[GMinerConfig] = None,
+    failure_plan: Any = None,
+    **options: Any,
+) -> JobResult:
+    """Mine ``graph`` for a pattern or a built-in workload.
+
+    At least one of ``pattern`` and ``workload`` must be given
+    (keyword-only); when both are, ``pattern`` parameterises the
+    workload (only ``gm`` accepts that).  ``workload`` is one of the
+    six built-ins
+    (``tc``/``mcf``/``gm``/``gl``/``cd``/``gc``), executed by the
+    legacy grower — results and work units are bit-identical to the
+    historical per-app entry points.  ``pattern`` is a named motif, a
+    :class:`~repro.mining.patterns.TreePattern`, a
+    :class:`~repro.plans.query.PatternQuery` or a pre-compiled
+    :class:`~repro.plans.compiler.ExecutionPlan`, run by the generic
+    plan executor; the job value is the embedding count.
+
+    Extra keyword ``options`` parameterise built-in workloads (e.g.
+    ``pattern=`` for ``gm``, ``k=`` for ``gl``, ``exemplars=`` for
+    ``gc``); the pattern path accepts none.  ``config`` defaults to
+    :class:`~repro.core.config.GMinerConfig`'s single-job defaults;
+    ``failure_plan`` is forwarded to the job untouched.  Returns the
+    :class:`~repro.core.job.JobResult`.
+    """
+    if pattern is None and workload is None:
+        raise TypeError(
+            "mine() needs exactly one of pattern= or workload= "
+            "(both are keyword-only)"
+        )
+    if workload is not None:
+        if pattern is not None:
+            # alongside workload=, pattern= is a workload option (gm's
+            # tree pattern); workloads that take none reject it by name
+            options["pattern"] = pattern
+        app = builtin_plan(workload).build_app(graph, **options)
+    else:
+        if options:
+            raise TypeError(
+                f"unknown option(s) {sorted(options)}: pattern queries "
+                "take no extra options — encode constraints in the "
+                "PatternQuery itself"
+            )
+        app = PlanApp(resolve_pattern(pattern))
+    if config is None:
+        config = GMinerConfig()
+    job = GMinerJob(app, graph, config, failure_plan)
+    return job.run()

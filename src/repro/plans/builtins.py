@@ -1,0 +1,143 @@
+"""Built-in workload plans: the paper's six applications as plans.
+
+A :class:`BuiltinPlan` is a declarative record binding a workload name
+to the application the legacy grower implements, plus — where the
+pattern vocabulary can express the workload — the equivalent
+:class:`~repro.plans.query.PatternQuery`.  ``repro.mine(workload=...)``
+resolves here and builds the *legacy* application, so built-in
+workloads are bit-identical to the hand-written growers by
+construction: same results, same work-unit totals, same golden pins.
+
+The ``query`` field is what the plan-vs-legacy differential axis
+exercises: compiling it and running the generic executor must agree
+with the legacy grower's value (``tc`` and ``gm`` carry queries; the
+clique search, community/cluster growth and graphlet enumeration are
+not fixed-pattern computations, so they have none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.api import GMinerApp
+from repro.graph.graph import Graph
+from repro.mining.patterns import PAPER_PATTERN, TreePattern
+from repro.plans.query import PatternQuery, motif
+
+
+def _tc_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import TriangleCountingApp
+
+    return TriangleCountingApp()
+
+
+def _mcf_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import MaxCliqueApp
+
+    return MaxCliqueApp()
+
+
+def _gm_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import GraphMatchingApp
+
+    return GraphMatchingApp(options.pop("pattern", PAPER_PATTERN))
+
+
+def _gl_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import GraphletCountingApp
+
+    return GraphletCountingApp(
+        k=options.pop("k", 4), classify=options.pop("classify", True)
+    )
+
+
+def _cd_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import CommunityDetectionApp
+
+    return CommunityDetectionApp(options.pop("params", None))
+
+
+def _gc_app(graph: Graph, options: Dict[str, Any]) -> GMinerApp:
+    from repro.apps import GraphClusteringApp
+
+    attrs = options.pop("exemplar_attributes", None)
+    if attrs is None:
+        exemplars = options.pop("exemplars", None)
+        if exemplars is None:
+            # the repo-wide small-graph convention (cf. the fuzzer):
+            # focus on the first three vertices
+            exemplars = sorted(graph.vertices())[:3]
+        attrs = [graph.attributes(v) for v in exemplars]
+    return GraphClusteringApp(attrs, params=options.pop("params", None))
+
+
+def _gm_query(options: Dict[str, Any]) -> PatternQuery:
+    pattern = options.get("pattern", PAPER_PATTERN)
+    return PatternQuery.from_tree(pattern, name="gm")
+
+
+@dataclass(frozen=True)
+class BuiltinPlan:
+    """One workload of the fixed menu, as a resolvable plan."""
+
+    workload: str
+    summary: str
+    option_names: Tuple[str, ...]
+    _app_factory: Callable[[Graph, Dict[str, Any]], GMinerApp]
+    _query_factory: Optional[Callable[[Dict[str, Any]], PatternQuery]] = None
+
+    def build_app(self, graph: Graph, **options: Any) -> GMinerApp:
+        """Instantiate the legacy application for this workload."""
+        unknown = set(options) - set(self.option_names)
+        if unknown:
+            accepted = ", ".join(self.option_names) or "none"
+            raise TypeError(
+                f"unknown option(s) {sorted(unknown)} for workload "
+                f"{self.workload!r}; accepted: {accepted}"
+            )
+        return self._app_factory(graph, dict(options))
+
+    def query(self, **options: Any) -> Optional[PatternQuery]:
+        """The pattern-vocabulary equivalent, or ``None`` when the
+        workload is not a fixed-pattern computation."""
+        if self._query_factory is None:
+            return None
+        return self._query_factory(dict(options))
+
+
+BUILTIN_PLANS: Dict[str, BuiltinPlan] = {
+    "tc": BuiltinPlan(
+        "tc", "exact triangle count", (), _tc_app,
+        lambda options: motif("triangle"),
+    ),
+    "mcf": BuiltinPlan(
+        "mcf", "maximum clique (branch-and-bound with global bound)",
+        (), _mcf_app,
+    ),
+    "gm": BuiltinPlan(
+        "gm", "labelled tree-pattern embedding count",
+        ("pattern",), _gm_app, _gm_query,
+    ),
+    "gl": BuiltinPlan(
+        "gl", "size-k graphlet histogram", ("k", "classify"), _gl_app,
+    ),
+    "cd": BuiltinPlan(
+        "cd", "attribute-coherent community detection", ("params",), _cd_app,
+    ),
+    "gc": BuiltinPlan(
+        "gc", "focused clustering around exemplars",
+        ("exemplars", "exemplar_attributes", "params"), _gc_app,
+    ),
+}
+
+
+def builtin_plan(workload: str) -> BuiltinPlan:
+    """Resolve a workload name; ``ValueError`` lists the menu."""
+    try:
+        return BUILTIN_PLANS[workload]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_PLANS))
+        raise ValueError(
+            f"unknown workload {workload!r}; built-in workloads: {known}"
+        ) from None

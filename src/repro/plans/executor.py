@@ -1,0 +1,237 @@
+"""The generic plan-driven grower: executes any
+:class:`~repro.plans.compiler.ExecutionPlan` on G-Miner's task model.
+
+One :class:`PlanTask` seeds per admissible vertex; round ``r`` runs
+plan step ``r-1``: per partial embedding, intersect the adjacency
+lists of the step's source images (smallest-first — the input-aware
+candidate direction), slice away ids below the symmetry bound, then
+filter the survivors by injectivity, remaining order bounds, label and
+attribute predicates.  The final step is *fused*: candidates are
+counted, never materialised, and — when it needs no vertex data (pure
+structural count) — the last candidate level is never even pulled,
+G²Miner's count-fusion trick expressed in the pull model.
+
+Work charging is deterministic and backend-independent: each partial
+charges the total length of the adjacency lists it intersects plus one
+unit per surviving candidate filtered — the same "elements scanned"
+convention the legacy kernels use.
+
+:func:`count_plan_sequential` runs the identical per-seed computation
+single-threaded against full graph access; it is the natural oracle
+half of plan-vs-distributed differential tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import kernels
+from repro.core.api import GMinerApp
+from repro.core.task import Task, TaskEnv
+from repro.graph.graph import Graph, VertexData
+from repro.mining.cost import WorkMeter
+from repro.plans.compiler import CompiledStep, ExecutionPlan
+
+PartialImage = Tuple[int, ...]
+
+
+def step_needs_data(step: CompiledStep) -> bool:
+    """Whether the step must look at candidate VertexData (labels or
+    attributes).  A pure structural count touches only ids."""
+    return not (step.counting and step.label is None and not step.predicates)
+
+
+def _step_candidates(
+    partial: PartialImage,
+    step: CompiledStep,
+    data_of: Callable[[int], VertexData],
+) -> Tuple[List[int], int]:
+    """Intersected, symmetry-sliced candidate ids for one partial.
+
+    Returns ``(candidates, scanned)`` where ``scanned`` is the metered
+    element count (sum of source adjacency lengths).
+    """
+    arrays = [data_of(partial[q]).neighbors_array() for q in step.sources]
+    scanned = sum(len(array) for array in arrays)
+    # input-aware candidate direction: start from the smallest list so
+    # every later intersection works on the tightest running set
+    arrays.sort(key=len)
+    result = arrays[0]
+    for array in arrays[1:]:
+        result = kernels.intersect(result, array)
+    if step.greater_than:
+        result = kernels.slice_gt(
+            result, max(partial[q] for q in step.greater_than)
+        )
+    return kernels.tolist(result), scanned
+
+
+def _passes_filters(
+    vid: int,
+    partial: PartialImage,
+    step: CompiledStep,
+    data_of: Callable[[int], VertexData],
+) -> bool:
+    """Injectivity, order bounds, label and predicate checks."""
+    if vid in partial:
+        return False
+    for q in step.less_than:
+        if vid >= partial[q]:
+            return False
+    if step.label is not None or step.predicates:
+        data = data_of(vid)
+        if step.label is not None and data.label != step.label:
+            return False
+        for op, value in step.predicates:
+            if op == "has-attr" and value not in data.attributes:
+                return False
+    return True
+
+
+def seed_admissible(vertex: VertexData, plan: ExecutionPlan) -> bool:
+    """Can this vertex host the pattern root?"""
+    if plan.root_label is not None and vertex.label != plan.root_label:
+        return False
+    for op, value in plan.root_predicates:
+        if op == "has-attr" and value not in vertex.attributes:
+            return False
+    return len(vertex.neighbors) >= plan.min_root_degree
+
+
+class PlanTask(Task):
+    """Multi-round task: one plan step per round (cf. ``GMTask``)."""
+
+    def __init__(self, seed: VertexData, plan: ExecutionPlan) -> None:
+        super().__init__(seed)
+        self.plan = plan
+        self.partials: List[PartialImage] = [(seed.vid,)]
+        self.known: Dict[int, VertexData] = {seed.vid: seed}
+        self.pull(self._needed_for(plan.steps[0]))
+
+    def _needed_for(self, step: CompiledStep) -> Set[int]:
+        """Vertices to pull before running ``step``: every potential
+        candidate (source-image neighbours) when the step reads vertex
+        data; nothing for a fused structural count."""
+        if not step_needs_data(step):
+            return set()
+        needed: Set[int] = set()
+        for partial in self.partials:
+            for q in step.sources:
+                needed.update(self.known[partial[q]].neighbors)
+        return needed - set(self.known)
+
+    def split(self) -> Optional[List[Task]]:
+        """Recursive task splitting (§9): halve the partial set.
+
+        Counts stay exact because embeddings partition cleanly across
+        the children; both continue from the same round.
+        """
+        if len(self.partials) < 2 or self.round >= len(self.plan.steps):
+            return None
+        mid = len(self.partials) // 2
+        children: List[Task] = []
+        for chunk in (self.partials[:mid], self.partials[mid:]):
+            child = PlanTask.__new__(PlanTask)
+            Task.__init__(child, self.seed)
+            child.plan = self.plan
+            child.partials = list(chunk)
+            child.known = dict(self.known)
+            child.round = self.round
+            child.pull(child._needed_for(self.plan.steps[self.round]))
+            children.append(child)
+        return children
+
+    def context_size(self) -> int:
+        known_bytes = sum(
+            16 + 8 * len(d.neighbors) for d in self.known.values()
+        )
+        partial_bytes = sum(48 + 8 * len(p) for p in self.partials)
+        return partial_bytes + known_bytes
+
+    def update(self, cand_objs: Dict[int, VertexData], env: TaskEnv) -> None:
+        self.known.update(cand_objs)
+        step = self.plan.steps[self.round - 1]
+        data_of = self.known.__getitem__
+        if step.counting:
+            total = 0
+            for partial in self.partials:
+                cands, scanned = _step_candidates(partial, step, data_of)
+                self.charge(scanned + len(cands))
+                total += sum(
+                    1 for vid in cands
+                    if _passes_filters(vid, partial, step, data_of)
+                )
+            self.finish(total if total else None)
+            return
+        extended: List[PartialImage] = []
+        for partial in self.partials:
+            cands, scanned = _step_candidates(partial, step, data_of)
+            self.charge(scanned + len(cands))
+            for vid in cands:
+                if _passes_filters(vid, partial, step, data_of):
+                    extended.append(partial + (vid,))
+        if not extended:
+            self.finish(None)
+            return
+        self.partials = extended
+        self.subgraph.add_nodes({partial[-1] for partial in extended})
+        self.pull(self._needed_for(self.plan.steps[self.round]))
+
+
+class PlanApp(GMinerApp):
+    """Run a compiled plan as a G-Miner application.
+
+    The job value is the total embedding count (symmetry-broken when
+    the plan was compiled with ``symmetry="auto"``).
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+        self.name = f"plan:{plan.name}"
+
+    def make_task(self, vertex: VertexData) -> Optional[Task]:
+        if not seed_admissible(vertex, self.plan):
+            return None
+        return PlanTask(vertex, self.plan)
+
+    def combine_results(self, results: Iterable[Optional[int]]) -> int:
+        return sum(r for r in results if r is not None)
+
+
+def count_plan_sequential(
+    plan: ExecutionPlan, graph: Graph, meter: Optional[WorkMeter] = None
+) -> int:
+    """Single-threaded execution of a plan with full graph access.
+
+    Runs the exact per-seed computation :class:`PlanTask` performs
+    (same candidate generation, filters and charging), so its value —
+    and, via ``meter``, its work units — must agree with the
+    distributed job on any graph.
+    """
+    meter = meter if meter is not None else WorkMeter()
+    data_of = graph.vertex_data
+    total = 0
+    for vid in sorted(graph.vertices()):
+        seed = data_of(vid)
+        if not seed_admissible(seed, plan):
+            continue
+        partials: List[PartialImage] = [(vid,)]
+        for step in plan.steps:
+            next_partials: List[PartialImage] = []
+            count_here = 0
+            for partial in partials:
+                cands, scanned = _step_candidates(partial, step, data_of)
+                meter.charge(scanned + len(cands))
+                for cand in cands:
+                    if _passes_filters(cand, partial, step, data_of):
+                        if step.counting:
+                            count_here += 1
+                        else:
+                            next_partials.append(partial + (cand,))
+            if step.counting:
+                total += count_here
+                break
+            partials = next_partials
+            if not partials:
+                break
+    return total

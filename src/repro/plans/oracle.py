@@ -1,0 +1,110 @@
+"""Brute-force ground truth for compiled plans.
+
+:func:`count_embeddings_bruteforce` enumerates injective embeddings by
+naive DFS in *global pattern-node order* — deliberately sharing no
+code with the compiler's extension order, symmetry constraints or the
+kernel-backed executor — and returns the count under the query's
+symmetry semantics:
+
+* ``symmetry="none"`` — the raw embedding count;
+* ``symmetry="auto"`` — raw count divided by the automorphism group
+  order (the orbit-counting identity: the compiler's symmetry-broken
+  count must pick exactly one embedding per orbit, so the division is
+  exact and any remainder is itself a bug).
+
+This is the oracle leg of the fuzzer's plan axis and the equivalence
+tests; it is exponential and only fit for small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.plans.compiler import automorphisms
+from repro.plans.query import WILDCARD, PatternQuery, flatten_pattern
+
+
+def _raw_embedding_count(query: PatternQuery, graph: Graph) -> int:
+    """Injective embeddings satisfying edges, labels, predicates and
+    the query's *explicit* order constraints."""
+    labels, tree_edges = flatten_pattern(query.pattern)
+    k = len(labels)
+    earlier_adjacent: List[List[int]] = [[] for _ in range(k)]
+    for a, b in list(tree_edges) + list(query.edges):
+        lo, hi = (a, b) if a < b else (b, a)
+        earlier_adjacent[hi].append(lo)
+    preds: List[List[Tuple[str, int]]] = [[] for _ in range(k)]
+    for node, op, value in query.predicates:
+        preds[node].append((op, value))
+    orders_at: List[List[Tuple[int, bool]]] = [[] for _ in range(k)]
+    for a, b in query.orders:
+        # check at the later global index; True means "image must be
+        # greater than image(other)"
+        if a < b:
+            orders_at[b].append((a, True))
+        else:
+            orders_at[a].append((b, False))
+
+    def admissible(node: int, vid: int, image: List[int]) -> bool:
+        if vid in image:
+            return False
+        data = graph.vertex_data(vid)
+        if labels[node] != WILDCARD and data.label != labels[node]:
+            return False
+        for op, value in preds[node]:
+            if op == "has-attr" and value not in data.attributes:
+                return False
+        neighbors = set(data.neighbors)
+        for other in earlier_adjacent[node]:
+            if image[other] not in neighbors:
+                return False
+        for other, must_be_greater in orders_at[node]:
+            if must_be_greater and vid <= image[other]:
+                return False
+            if not must_be_greater and vid >= image[other]:
+                return False
+        return True
+
+    count = 0
+    image: List[int] = []
+
+    def extend(node: int) -> None:
+        nonlocal count
+        if node == k:
+            count += 1
+            return
+        if node == 0:
+            candidates: Sequence[int] = sorted(graph.vertices())
+        else:
+            # every non-root node has a tree parent among the earlier
+            # nodes, so its image must neighbour that parent's image
+            parent = earlier_adjacent[node][0]
+            candidates = graph.neighbors(image[parent])
+        for vid in candidates:
+            if admissible(node, vid, image):
+                image.append(vid)
+                extend(node + 1)
+                image.pop()
+
+    extend(0)
+    return count
+
+
+def count_embeddings_bruteforce(query: PatternQuery, graph: Graph) -> int:
+    """Ground-truth count for ``query`` on ``graph`` (see module doc)."""
+    query.validate()
+    raw = _raw_embedding_count(query, graph)
+    if query.symmetry != "auto":
+        return raw
+    labels, tree_edges = flatten_pattern(query.pattern)
+    edges = list(tree_edges) + list(query.edges)
+    group_order = len(
+        automorphisms(labels, edges, query.predicates, query.orders)
+    )
+    if raw % group_order:
+        raise AssertionError(
+            f"embedding count {raw} is not divisible by |Aut| = "
+            f"{group_order}: symmetry accounting is broken"
+        )
+    return raw // group_order

@@ -1,0 +1,285 @@
+"""The pattern-query vocabulary: what :func:`repro.mine` compiles.
+
+A :class:`PatternQuery` wraps a :class:`~repro.mining.patterns.TreePattern`
+skeleton (which fixes connectivity: every non-root node has a tree edge
+to its parent) and adds the small constraint vocabulary the compiler
+understands:
+
+* **extra edges** — undirected edges between any two pattern nodes,
+  turning the tree into an arbitrary connected motif (a triangle is a
+  2-level star plus one extra edge);
+* **order constraints** — ``image(a) < image(b)`` over data-vertex ids,
+  the symmetric-pair-breaking primitive.  Usually derived automatically
+  (``symmetry="auto"``), but explicit constraints compose with derived
+  ones;
+* **attribute predicates** — ``(node, "has-attr", value)`` restricts a
+  node's image to vertices whose attribute list contains ``value``;
+* **wildcard labels** — the label ``"*"`` matches any data vertex,
+  labelled or not, so structural motifs run on unlabelled graphs.
+
+Pattern nodes are addressed by **global index**: 0 is the root, then
+levels in order, nodes in declaration order within a level.
+
+:func:`motif` resolves a small registry of named motifs ("triangle",
+"tailed-triangle", ...) to ready-made queries — these are what string
+patterns passed to :func:`repro.mine` mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mining.patterns import (
+    PatternValidationError,
+    TreePattern,
+    make_pattern,
+)
+
+#: The label that matches any data vertex (labelled or not).
+WILDCARD = "*"
+
+#: Attribute-predicate operations the executor understands.
+PREDICATE_OPS = ("has-attr",)
+
+#: Symmetry-handling modes.  ``auto`` derives order constraints from the
+#: pattern's automorphism group (each subgraph counted once per
+#: automorphism orbit); ``none`` counts every embedding (the legacy
+#: tree-matcher semantics, where sibling permutations are distinct).
+SYMMETRY_MODES = ("auto", "none")
+
+
+def flatten_pattern(pattern: TreePattern) -> Tuple[Tuple[str, ...], Tuple[Tuple[int, int], ...]]:
+    """Global node labels and tree edges of a :class:`TreePattern`.
+
+    Returns ``(labels, edges)`` where ``labels[i]`` is the label of
+    global node ``i`` (0 = root, then level by level) and ``edges`` are
+    the parent edges ``(parent_global, child_global)``.
+    """
+    labels: List[str] = [pattern.root_label]
+    edges: List[Tuple[int, int]] = []
+    prev_level_start = 0
+    for level in pattern.levels:
+        level_start = len(labels)
+        for node in level:
+            edges.append((prev_level_start + node.parent, len(labels)))
+            labels.append(node.label)
+        prev_level_start = level_start
+    return tuple(labels), tuple(edges)
+
+
+def _canonical_edge(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """A motif query: tree skeleton + constraint vocabulary.
+
+    ``edges`` are extra undirected edges as ``(a, b)`` global-index
+    pairs; ``orders`` are explicit ``image(a) < image(b)`` constraints;
+    ``predicates`` are ``(node, op, value)`` attribute filters;
+    ``symmetry`` selects automatic symmetry breaking (``"auto"``) or
+    raw embedding counting (``"none"``).  ``name`` is cosmetic — it
+    tags the compiled plan and the job's app name.
+    """
+
+    pattern: TreePattern
+    edges: Tuple[Tuple[int, int], ...] = ()
+    orders: Tuple[Tuple[int, int], ...] = ()
+    predicates: Tuple[Tuple[int, str, int], ...] = ()
+    symmetry: str = "auto"
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        # normalise list inputs so queries hash/compare structurally
+        object.__setattr__(self, "edges", tuple(tuple(e) for e in self.edges))
+        object.__setattr__(self, "orders", tuple(tuple(o) for o in self.orders))
+        object.__setattr__(
+            self, "predicates", tuple(tuple(p) for p in self.predicates)
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.pattern.num_nodes
+
+    @classmethod
+    def from_tree(cls, pattern: TreePattern, name: str = "tree") -> "PatternQuery":
+        """Wrap a plain tree pattern with the legacy matcher semantics.
+
+        ``symmetry="none"`` because the tree matcher counts sibling
+        permutations as distinct embeddings — a compiled tree query
+        must agree with :class:`~repro.apps.GraphMatchingApp` exactly.
+        """
+        return cls(pattern=pattern, symmetry="none", name=name)
+
+    def node_labels(self) -> Tuple[str, ...]:
+        return flatten_pattern(self.pattern)[0]
+
+    def all_edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Tree edges plus extra edges, canonicalised ``(lo, hi)``."""
+        _, tree = flatten_pattern(self.pattern)
+        return tuple(
+            sorted(
+                {_canonical_edge(*e) for e in tree}
+                | {_canonical_edge(*e) for e in self.edges}
+            )
+        )
+
+    def validate(self) -> None:
+        """Structural validation; raises
+        :class:`~repro.mining.patterns.PatternValidationError` with all
+        problems found (the tree skeleton is validated first)."""
+        self.pattern.validate()
+        k = self.num_nodes
+        errors: List[Tuple[str, str]] = []
+        _, tree_edges = flatten_pattern(self.pattern)
+        tree_set = {_canonical_edge(*e) for e in tree_edges}
+        seen_extra = set()
+        for edge in self.edges:
+            a, b = edge
+            if not (0 <= a < k and 0 <= b < k):
+                errors.append(
+                    ("bad-edge", f"edge {edge!r} references a node outside 0..{k - 1}")
+                )
+                continue
+            if a == b:
+                errors.append(("bad-edge", f"edge {edge!r} is a self-loop"))
+                continue
+            canon = _canonical_edge(a, b)
+            if canon in tree_set:
+                errors.append(
+                    ("duplicate-edge", f"edge {edge!r} duplicates a tree edge")
+                )
+            elif canon in seen_extra:
+                errors.append(
+                    ("duplicate-edge", f"edge {edge!r} appears more than once")
+                )
+            seen_extra.add(canon)
+        seen_orders = set()
+        for order in self.orders:
+            a, b = order
+            if not (0 <= a < k and 0 <= b < k) or a == b:
+                errors.append(
+                    ("bad-order", f"order constraint {order!r} is not between "
+                                  f"two distinct nodes in 0..{k - 1}")
+                )
+                continue
+            if (b, a) in seen_orders:
+                errors.append(
+                    ("contradictory-order",
+                     f"order constraints {(b, a)!r} and {order!r} contradict")
+                )
+            elif order in seen_orders:
+                errors.append(
+                    ("duplicate-order", f"order constraint {order!r} repeats")
+                )
+            seen_orders.add(order)
+        for pred in self.predicates:
+            node, op, _value = pred
+            if not (isinstance(node, int) and 0 <= node < k):
+                errors.append(
+                    ("bad-predicate",
+                     f"predicate {pred!r} references a node outside 0..{k - 1}")
+                )
+            if op not in PREDICATE_OPS:
+                errors.append(
+                    ("bad-predicate",
+                     f"predicate {pred!r} op must be one of {PREDICATE_OPS}")
+                )
+        if self.symmetry not in SYMMETRY_MODES:
+            errors.append(
+                ("bad-symmetry",
+                 f"symmetry must be one of {SYMMETRY_MODES}, "
+                 f"got {self.symmetry!r}")
+            )
+        if errors:
+            raise PatternValidationError(errors)
+
+
+# ----------------------------------------------------------------------
+# Named motifs: what string patterns passed to repro.mine() resolve to.
+# ----------------------------------------------------------------------
+
+
+def _star(k: int) -> TreePattern:
+    """A wildcard root with ``k - 1`` wildcard children."""
+    return make_pattern(WILDCARD, [(WILDCARD, 0)] * (k - 1))
+
+
+def _triangle() -> PatternQuery:
+    return PatternQuery(_star(3), edges=((1, 2),), name="triangle")
+
+
+def _tailed_triangle() -> PatternQuery:
+    # nodes: 0 root, 1 and 2 its children, 3 the tail hanging off 2;
+    # extra edge (1, 2) closes the triangle {0, 1, 2}.
+    pattern = make_pattern(
+        WILDCARD, [(WILDCARD, 0), (WILDCARD, 0)], [(WILDCARD, 1)]
+    )
+    return PatternQuery(pattern, edges=((1, 2),), name="tailed-triangle")
+
+
+def _four_clique() -> PatternQuery:
+    return PatternQuery(
+        _star(4), edges=((1, 2), (1, 3), (2, 3)), name="4-clique"
+    )
+
+
+def _four_cycle() -> PatternQuery:
+    # nodes: 0 root, children 1 and 2, node 3 under 1; edge (2, 3)
+    # closes the cycle 0-1-3-2-0.
+    pattern = make_pattern(
+        WILDCARD, [(WILDCARD, 0), (WILDCARD, 0)], [(WILDCARD, 0)]
+    )
+    return PatternQuery(pattern, edges=((2, 3),), name="4-cycle")
+
+
+def _diamond() -> PatternQuery:
+    # K4 minus one edge: root adjacent to all, plus (1, 2) and (2, 3) —
+    # nodes 0 and 2 are the degree-3 pair.
+    return PatternQuery(_star(4), edges=((1, 2), (2, 3)), name="diamond")
+
+
+def _three_path() -> PatternQuery:
+    # path on 3 vertices, centre at the root
+    return PatternQuery(_star(3), name="3-path")
+
+
+def _three_star() -> PatternQuery:
+    return PatternQuery(_star(4), name="3-star")
+
+
+def _paper() -> PatternQuery:
+    from repro.mining.patterns import PAPER_PATTERN
+
+    return PatternQuery.from_tree(PAPER_PATTERN, name="paper-figure1")
+
+
+#: Named motif registry: name -> zero-arg factory.
+MOTIFS = {
+    "triangle": _triangle,
+    "tailed-triangle": _tailed_triangle,
+    "4-clique": _four_clique,
+    "4-cycle": _four_cycle,
+    "diamond": _diamond,
+    "3-path": _three_path,
+    "3-star": _three_star,
+    "paper-figure1": _paper,
+}
+
+
+def motif(name: str) -> PatternQuery:
+    """Resolve a named motif to its :class:`PatternQuery`.
+
+    Raises ``ValueError`` listing the known names for anything else —
+    the error :func:`repro.mine` surfaces for unknown string patterns.
+    """
+    try:
+        factory = MOTIFS[name]
+    except KeyError:
+        known = ", ".join(sorted(MOTIFS))
+        raise ValueError(
+            f"unknown pattern {name!r}; known named motifs: {known}"
+        ) from None
+    return factory()

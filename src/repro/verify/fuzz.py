@@ -12,6 +12,14 @@ kernel-backend) cases and, for each one:
 3. runs the single-thread baseline kernel as the ground-truth oracle —
    normalised results must agree.
 
+With ``--plan-axis`` every case additionally exercises the pattern
+plan compiler (:mod:`repro.plans`): the tailed-triangle motif — and,
+when the case's workload has a pattern-vocabulary equivalent (tc, gm),
+that query too — is compiled and run distributed under *both* kernel
+backends; the runs must agree with each other on the full fingerprint,
+with the brute-force embedding oracle on the value, and with the
+legacy grower's result where one exists.
+
 Any mismatch (or :class:`~repro.verify.InvariantViolation`) is shrunk
 by delta-debugging the vertex set (induced subgraphs) and simplifying
 the configuration, then persisted as a replayable JSON repro
@@ -51,6 +59,14 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 from repro.mining.clustering import FocusParams
 from repro.mining.community import CommunityParams
+from repro.mining.patterns import PAPER_PATTERN
+from repro.plans import (
+    PatternQuery,
+    PlanApp,
+    compile_pattern,
+    count_embeddings_bruteforce,
+    motif,
+)
 from repro.sim.cluster import ClusterSpec
 from repro.sim.failures import FailurePlan
 from repro.verify.invariants import InvariantViolation
@@ -231,8 +247,17 @@ def _fingerprint(result) -> Dict[str, Any]:
     }
 
 
-def check_case(case: Dict[str, Any]) -> List[str]:
-    """Run the differential triad; return mismatch descriptions."""
+def check_case(
+    case: Dict[str, Any], plan_axis: Optional[bool] = None
+) -> List[str]:
+    """Run the differential triad; return mismatch descriptions.
+
+    ``plan_axis`` arms the plan-vs-legacy axis; ``None`` (the default)
+    reads the case's own ``"plan_axis"`` key, so persisted plan-axis
+    repros replay with the axis armed.
+    """
+    if plan_axis is None:
+        plan_axis = bool(case.get("plan_axis", False))
     workload = case["workload"]
     backend_a, backend_b = case["backends"]
     try:
@@ -264,6 +289,93 @@ def check_case(case: Dict[str, Any]) -> List[str]:
             f"G-Miner vs single-thread oracle on {workload}: "
             f"observed {observed!r}, expected {expected!r}"
         )
+    if plan_axis:
+        mismatches.extend(check_plan_axis(case, result_a.value))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# the plan-vs-legacy axis
+# ----------------------------------------------------------------------
+
+
+def plan_queries_for_case(case: Dict[str, Any]) -> List[tuple]:
+    """The compiled queries a case exercises: the tailed-triangle motif
+    always, plus the workload's pattern-vocabulary equivalent when it
+    has one.  Returns ``(name, query, compare_with_legacy)`` triples.
+    """
+    queries = [("tailed-triangle", motif("tailed-triangle"), False)]
+    workload = case["workload"]
+    if workload == "tc":
+        queries.append(("triangle", motif("triangle"), True))
+    if workload == "gm":
+        queries.append(
+            ("gm-pattern", PatternQuery.from_tree(PAPER_PATTERN, "gm"), True)
+        )
+    return queries
+
+
+def run_plan_distributed(case: Dict[str, Any], query, backend: str):
+    """One compiled-plan G-Miner run under ``backend``."""
+    graph = graph_from_case(case)
+    config = GMinerConfig(
+        cluster=ClusterSpec(
+            num_nodes=case["num_nodes"], cores_per_node=case["cores_per_node"]
+        ),
+        verify=True,
+        kernel_backend=backend,
+        **case["config"],
+    )
+    app = PlanApp(compile_pattern(query))
+    job = GMinerJob(app, graph, config, plan_from_case(case))
+    return job.run()
+
+
+def check_plan_axis(case: Dict[str, Any], legacy_value: Any) -> List[str]:
+    """Compiled plans vs backends vs brute force vs the legacy grower."""
+    mismatches: List[str] = []
+    backend_a, backend_b = case["backends"]
+    graph = graph_from_case(case)
+    for name, query, compare_with_legacy in plan_queries_for_case(case):
+        try:
+            plan_a = run_plan_distributed(case, query, backend_a)
+            plan_b = run_plan_distributed(case, query, backend_b)
+        except InvariantViolation as violation:
+            mismatches.append(
+                f"plan axis [{name}]: invariant violation: {violation}"
+            )
+            continue
+        if plan_a.status is not JobStatus.OK:
+            mismatches.append(
+                f"plan axis [{name}] did not complete: {plan_a.status.value}"
+            )
+            continue
+        fp_a, fp_b = _fingerprint(plan_a), _fingerprint(plan_b)
+        if fp_a != fp_b:
+            diff = {
+                key: (fp_a[key], fp_b[key])
+                for key in fp_a
+                if fp_a[key] != fp_b[key]
+            }
+            mismatches.append(
+                f"plan axis [{name}]: backends {backend_a} vs {backend_b} "
+                f"diverged: {diff!r}"
+            )
+        # a job with zero task results reports value None (the job-level
+        # convention shared with the legacy apps); as a count that is 0
+        plan_value = plan_a.value if plan_a.value is not None else 0
+        expected = count_embeddings_bruteforce(query, graph)
+        if plan_value != expected:
+            mismatches.append(
+                f"plan axis [{name}]: compiled plan counted "
+                f"{plan_value!r}, brute-force oracle says {expected!r}"
+            )
+        legacy_count = legacy_value if legacy_value is not None else 0
+        if compare_with_legacy and plan_value != legacy_count:
+            mismatches.append(
+                f"plan axis [{name}]: compiled plan counted "
+                f"{plan_value!r}, legacy grower counted {legacy_count!r}"
+            )
     return mismatches
 
 
@@ -384,6 +496,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-shrink", action="store_true",
         help="report mismatches without delta-debugging them",
     )
+    parser.add_argument(
+        "--plan-axis", action="store_true",
+        help="also differential-test the pattern plan compiler "
+             "(plan-vs-legacy, plan-vs-brute-force, plan-vs-backends)",
+    )
     args = parser.parse_args(argv)
     if args.replay:
         return replay(args.replay)
@@ -392,6 +509,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for iteration in range(args.iterations):
         case_seed = args.seed * 1_000_003 + iteration
         case = generate_case(case_seed)
+        if args.plan_axis:
+            # recorded on the case so shrinking and replay keep the axis
+            case["plan_axis"] = True
         mismatches = check_case(case)
         tag = (
             f"[{iteration + 1}/{args.iterations}] seed={case_seed} "

@@ -62,9 +62,7 @@ class TestJSONExport:
         return GMinerJob(MaxCliqueApp(), small_social_graph, config).run()
 
     def test_job_result_roundtrips_through_json(self, result):
-        # the shim still works, and still warns about its replacement
-        with pytest.warns(DeprecationWarning, match="to_dict"):
-            record = job_result_to_dict(result)
+        record = result.to_dict()
         text = json.dumps(record)
         loaded = json.loads(text)
         assert loaded["status"] == "ok"
@@ -73,14 +71,17 @@ class TestJSONExport:
         assert "utilization" in loaded
         assert "trace_summary" in loaded
 
+    def test_deprecated_export_path_raises(self, result):
+        # the deprecation cycle is over: the shim is a tombstone
+        with pytest.raises(TypeError, match="to_dict"):
+            job_result_to_dict(result)
+
     def test_value_serialised(self, result):
-        with pytest.warns(DeprecationWarning):
-            record = job_result_to_dict(result)
+        record = result.to_dict()
         assert record["value"] == list(result.value)
 
     def test_save_json(self, result, tmp_path):
-        with pytest.warns(DeprecationWarning):
-            record = job_result_to_dict(result)
+        record = result.to_dict()
         path = save_json(record, str(tmp_path / "r" / "out.json"))
         with open(path) as fh:
             assert json.load(fh)["app"] == "mcf"

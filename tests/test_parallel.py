@@ -1,7 +1,5 @@
 """Tests for repro.parallel: pool fan-out, build cache, API shims."""
 
-import warnings
-
 import pytest
 
 from repro.bench import run
@@ -176,27 +174,26 @@ class TestRunAPI:
         )
         assert r.ok
 
-    def test_run_gminer_shim_warns_and_matches(self):
-        with pytest.warns(DeprecationWarning, match="run_gminer"):
-            shimmed = run_gminer("tc", "skitter-s", spec=FAST_SPEC)
-        direct = run(workload="tc", dataset="skitter-s", spec=FAST_SPEC)
-        assert shimmed.to_dict() == direct.to_dict()
+    def test_run_gminer_tombstone_raises(self):
+        with pytest.raises(TypeError, match="repro.bench.run"):
+            run_gminer("tc", "skitter-s", spec=FAST_SPEC)
 
-    def test_run_system_shim_warns_and_matches(self):
-        with pytest.warns(DeprecationWarning, match="run_system"):
-            shimmed = run_system("gthinker", "tc", "skitter-s", spec=FAST_SPEC)
-        direct = run(
-            system="gthinker", workload="tc", dataset="skitter-s", spec=FAST_SPEC
-        )
-        assert shimmed.to_dict() == direct.to_dict()
+    def test_run_system_tombstone_raises(self):
+        with pytest.raises(TypeError, match="repro.bench.run"):
+            run_system("gthinker", "tc", "skitter-s", spec=FAST_SPEC)
 
-    def test_job_result_to_dict_shim_warns(self):
+    def test_shims_not_exported_from_bench(self):
+        import repro.bench
+
+        assert not hasattr(repro.bench, "run_gminer")
+        assert not hasattr(repro.bench, "run_system")
+
+    def test_job_result_to_dict_tombstone_raises(self):
         from repro.bench.export import job_result_to_dict
 
         result = run(workload="tc", dataset="skitter-s", spec=FAST_SPEC)
-        with pytest.warns(DeprecationWarning, match="to_dict"):
-            record = job_result_to_dict(result)
-        assert record == result.to_dict()
+        with pytest.raises(TypeError, match="to_dict"):
+            job_result_to_dict(result)
 
 
 class TestConfigFailFast:

@@ -1,0 +1,194 @@
+"""Unit tests for the pattern-plan compiler (repro.plans).
+
+Covers the query vocabulary (motifs, PatternQuery, tree flattening),
+automorphism enumeration, Grochow–Kellis symmetry breaking, greedy
+extension-order derivation, and the structured fail-fast validation
+shared with TreePattern.
+"""
+
+import pytest
+
+from repro.mining.patterns import (
+    PAPER_PATTERN,
+    PatternNode,
+    PatternValidationError,
+    TreePattern,
+    make_pattern,
+)
+from repro.plans import (
+    MOTIFS,
+    PatternQuery,
+    automorphisms,
+    break_symmetry,
+    compile_pattern,
+    flatten_pattern,
+    motif,
+)
+
+# |Aut| of each named motif, independently known
+MOTIF_AUTOMORPHISMS = {
+    "triangle": 6,
+    "tailed-triangle": 2,
+    "4-clique": 24,
+    "4-cycle": 8,
+    "diamond": 4,
+    "3-path": 2,
+    "3-star": 6,
+    "paper-figure1": 1,  # five distinct labels: only the identity
+}
+
+
+class TestQueryVocabulary:
+    def test_flatten_pattern_global_indexing(self):
+        labels, edges = flatten_pattern(PAPER_PATTERN)
+        assert labels == ("a", "b", "c", "d", "e")
+        # root -> level 1, then level-2 nodes under their parents
+        # (d and e hang off the level-1 node at position 1, i.e. "c")
+        assert set(edges) == {(0, 1), (0, 2), (2, 3), (2, 4)}
+
+    def test_every_motif_compiles(self):
+        for name in MOTIFS:
+            plan = compile_pattern(motif(name))
+            assert plan.num_nodes == len(plan.order) == len(plan.steps) + 1
+
+    def test_unknown_motif_lists_menu(self):
+        with pytest.raises(ValueError, match="tailed-triangle"):
+            motif("pentagon")
+
+    def test_from_tree_keeps_legacy_sibling_semantics(self):
+        query = PatternQuery.from_tree(PAPER_PATTERN)
+        assert query.symmetry == "none"
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize("name,expected", sorted(MOTIF_AUTOMORPHISMS.items()))
+    def test_motif_automorphism_counts(self, name, expected):
+        query = motif(name)
+        perms = automorphisms(query.node_labels(), query.all_edges())
+        assert len(perms) == expected
+        assert compile_pattern(query).num_automorphisms == expected
+
+    def test_labels_restrict_automorphisms(self):
+        # an a-b edge has no nontrivial label-preserving automorphism
+        query = PatternQuery(pattern=make_pattern("a", [("b", 0)]))
+        perms = automorphisms(query.node_labels(), query.all_edges())
+        assert list(perms) == [(0, 1)]
+
+    def test_break_symmetry_kills_all_nontrivial_perms(self):
+        query = motif("4-clique")
+        perms = automorphisms(query.node_labels(), query.all_edges())
+        constraints = break_symmetry(perms)
+        # enough constraints to pin a total order on the 4 clique nodes
+        assert len(constraints) >= 3
+        identity = tuple(range(4))
+        survivors = [
+            p
+            for p in perms
+            if all(p[a] < p[b] for a, b in constraints)
+        ]
+        assert survivors == [identity]
+
+    def test_asymmetric_pattern_needs_no_constraints(self):
+        plan = compile_pattern(PatternQuery.from_tree(PAPER_PATTERN))
+        assert plan.num_automorphisms == 1
+        assert plan.orders == ()
+
+
+class TestExtensionOrder:
+    def test_order_starts_at_root_and_stays_connected(self):
+        for name in MOTIFS:
+            plan = compile_pattern(motif(name))
+            assert plan.order[0] == 0
+            adjacency = {i: set() for i in range(plan.num_nodes)}
+            for a, b in plan.edges:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+            placed = {plan.order[0]}
+            for node in plan.order[1:]:
+                assert adjacency[node] & placed, f"{name}: {node} disconnected"
+                placed.add(node)
+
+    def test_tailed_triangle_grows_triangle_first(self):
+        # degree-greedy: both triangle partners placed before the tail
+        plan = compile_pattern(motif("tailed-triangle"))
+        assert plan.order == (0, 2, 1, 3)
+
+    def test_final_step_is_fused_count(self):
+        for name in MOTIFS:
+            plan = compile_pattern(motif(name))
+            assert plan.steps[-1].counting
+            assert not any(step.counting for step in plan.steps[:-1])
+
+    def test_describe_mentions_symmetry_and_steps(self):
+        text = compile_pattern(motif("triangle")).describe()
+        assert "|Aut| = 6" in text
+        assert "count" in text
+
+
+class TestTreePatternValidation:
+    def test_make_pattern_validates(self):
+        with pytest.raises(PatternValidationError, match="empty-label"):
+            make_pattern("", [("b", 0)])
+
+    def test_bad_parent_index(self):
+        with pytest.raises(PatternValidationError) as info:
+            make_pattern("a", [("b", 0)], [("c", 7)])
+        assert "bad-parent" in info.value.codes
+
+    def test_all_errors_collected(self):
+        pattern = TreePattern(root_label="", levels=((PatternNode("b", 3),),))
+        with pytest.raises(PatternValidationError) as info:
+            pattern.validate()
+        assert set(info.value.codes) == {"empty-label", "bad-parent"}
+
+    def test_unreachable_level(self):
+        pattern = TreePattern(root_label="a", levels=((), (PatternNode("b", 0),)))
+        with pytest.raises(PatternValidationError) as info:
+            pattern.validate()
+        assert "empty-level" in info.value.codes
+        assert "unreachable-level" in info.value.codes
+
+    def test_duplicate_siblings_stay_legal(self):
+        # the legacy matcher counts sibling permutations: (b,b) under one
+        # root is a meaningful pattern, not an error
+        make_pattern("a", [("b", 0), ("b", 0)]).validate()
+
+
+class TestPatternQueryValidation:
+    def test_single_node_pattern_rejected_by_compiler(self):
+        with pytest.raises(PatternValidationError, match="pattern-too-small"):
+            compile_pattern(make_pattern("a"))
+
+    def test_edge_out_of_range(self):
+        query = PatternQuery(pattern=PAPER_PATTERN, edges=((0, 9),))
+        with pytest.raises(PatternValidationError) as info:
+            query.validate()
+        assert "bad-edge" in info.value.codes
+
+    def test_duplicate_edge(self):
+        query = PatternQuery(pattern=PAPER_PATTERN, edges=((1, 0),))
+        with pytest.raises(PatternValidationError) as info:
+            query.validate()
+        assert "duplicate-edge" in info.value.codes
+
+    def test_contradictory_order(self):
+        query = PatternQuery(pattern=PAPER_PATTERN, orders=((0, 1), (1, 0)))
+        with pytest.raises(PatternValidationError) as info:
+            query.validate()
+        assert "contradictory-order" in info.value.codes
+
+    def test_unknown_predicate_op(self):
+        query = PatternQuery(pattern=PAPER_PATTERN, predicates=((1, "likes", 3),))
+        with pytest.raises(PatternValidationError) as info:
+            query.validate()
+        assert "bad-predicate" in info.value.codes
+
+    def test_bad_symmetry_mode(self):
+        query = PatternQuery(pattern=PAPER_PATTERN, symmetry="most")
+        with pytest.raises(PatternValidationError) as info:
+            query.validate()
+        assert "bad-symmetry" in info.value.codes
+
+    def test_compile_rejects_unsupported_input(self):
+        with pytest.raises(TypeError):
+            compile_pattern(42)

@@ -1,0 +1,228 @@
+"""Integration tests for ``repro.mine`` and the plan executor.
+
+Three equivalence axes:
+
+* built-in workloads through ``mine()`` are *bit-identical* to the
+  legacy per-app job construction (full ``to_dict`` comparison, all
+  three kernel backends);
+* compiled plans agree with the legacy growers where the vocabulary
+  overlaps (triangle count, tree-pattern matching);
+* a non-built-in motif (the tailed triangle) runs end-to-end and
+  agrees with the brute-force oracle, the sequential plan runner, and
+  itself across backends — including under task splitting and under
+  checkpointed worker failure.
+"""
+
+import pytest
+
+from repro.apps import (
+    CommunityDetectionApp,
+    GraphClusteringApp,
+    GraphletCountingApp,
+    GraphMatchingApp,
+    MaxCliqueApp,
+    TriangleCountingApp,
+    count_triangles,
+    match_pattern,
+)
+from repro.core import GMinerConfig, GMinerJob, JobStatus
+from repro.graph.generators import random_attributes
+from repro.mining.patterns import PAPER_PATTERN
+from repro.plans import (
+    PatternQuery,
+    compile_pattern,
+    count_embeddings_bruteforce,
+    count_plan_sequential,
+    mine,
+    motif,
+)
+from repro.sim.failures import FailurePlan
+
+from tests.conftest import make_clustered_graph
+
+BACKENDS = ("reference", "numpy", "bitset")
+
+
+@pytest.fixture(scope="module")
+def mining_graph():
+    """Small labelled + attributed graph every workload can run on."""
+    graph = make_clustered_graph(labeled=True, n=48, m=3)
+    random_attributes(graph, seed=7)
+    return graph
+
+
+def _legacy_app(workload, graph):
+    if workload == "tc":
+        return TriangleCountingApp()
+    if workload == "mcf":
+        return MaxCliqueApp()
+    if workload == "gm":
+        return GraphMatchingApp(PAPER_PATTERN)
+    if workload == "gl":
+        return GraphletCountingApp(k=4, classify=True)
+    if workload == "cd":
+        return CommunityDetectionApp(None)
+    assert workload == "gc"
+    exemplars = sorted(graph.vertices())[:3]
+    return GraphClusteringApp([graph.attributes(v) for v in exemplars])
+
+
+class TestMineAPI:
+    def test_positional_arguments_rejected(self, tiny_graph):
+        with pytest.raises(TypeError):
+            mine(tiny_graph, "tc")
+
+    def test_neither_pattern_nor_workload(self, tiny_graph):
+        with pytest.raises(TypeError, match="exactly one"):
+            mine(tiny_graph)
+
+    def test_pattern_alongside_workload_is_a_workload_option(self, tiny_graph):
+        # gm takes pattern=; tc takes no options, so it rejects by name
+        with pytest.raises(TypeError, match="pattern"):
+            mine(tiny_graph, pattern="triangle", workload="tc")
+
+    def test_unknown_workload_lists_menu(self, tiny_graph):
+        with pytest.raises(ValueError, match="tc"):
+            mine(tiny_graph, workload="pagerank")
+
+    def test_unknown_motif_lists_names(self, tiny_graph):
+        with pytest.raises(ValueError, match="tailed-triangle"):
+            mine(tiny_graph, pattern="pentagon")
+
+    def test_unsupported_pattern_type(self, tiny_graph):
+        with pytest.raises(TypeError, match="pattern"):
+            mine(tiny_graph, pattern=3.14)
+
+    def test_pattern_path_rejects_workload_options(self, tiny_graph):
+        with pytest.raises(TypeError, match="k"):
+            mine(tiny_graph, pattern="triangle", k=4)
+
+    def test_workload_rejects_unknown_option(self, tiny_graph):
+        # the error names the rejected option and lists what is accepted
+        with pytest.raises(TypeError, match="depth.*classify"):
+            mine(tiny_graph, workload="gl", depth=2)
+
+
+class TestBuiltinEquivalence:
+    """mine(workload=...) must be bit-identical to the legacy job."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workload", ["tc", "mcf", "gm", "gl", "cd", "gc"])
+    def test_workload_matches_legacy_job(
+        self, workload, backend, mining_graph, small_spec
+    ):
+        config = GMinerConfig(cluster=small_spec, kernel_backend=backend)
+        legacy = GMinerJob(
+            _legacy_app(workload, mining_graph), mining_graph, config
+        ).run()
+        modern = mine(mining_graph, workload=workload, config=config)
+        assert legacy.status is JobStatus.OK
+        assert modern.to_dict() == legacy.to_dict()
+
+    def test_app_wrappers_route_through_mine(self, mining_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec)
+        direct = mine(mining_graph, workload="tc", config=config)
+        wrapped = count_triangles(mining_graph, config=config)
+        assert wrapped.to_dict() == direct.to_dict()
+        matched = match_pattern(
+            mining_graph, pattern=PAPER_PATTERN, config=config
+        )
+        assert matched.to_dict() == mine(
+            mining_graph, workload="gm", pattern=PAPER_PATTERN, config=config
+        ).to_dict()
+
+
+class TestCompiledVsLegacy:
+    def test_triangle_plan_matches_tc(self, mining_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec)
+        legacy = mine(mining_graph, workload="tc", config=config)
+        compiled = mine(mining_graph, pattern="triangle", config=config)
+        assert compiled.value == (legacy.value or 0)
+
+    def test_tree_pattern_plan_matches_gm(self, mining_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec)
+        legacy = mine(mining_graph, workload="gm", config=config)
+        compiled = mine(mining_graph, pattern=PAPER_PATTERN, config=config)
+        assert compiled.value == (legacy.value or 0)
+        # …and the PatternQuery spelling is the same computation
+        query = PatternQuery.from_tree(PAPER_PATTERN)
+        requeried = mine(mining_graph, pattern=query, config=config)
+        assert requeried.value == compiled.value
+
+
+class TestCustomMotifEndToEnd:
+    """The acceptance scenario: a non-built-in 4-node pattern."""
+
+    def test_tailed_triangle_all_backends_agree_with_oracles(
+        self, mining_graph, small_spec
+    ):
+        query = motif("tailed-triangle")
+        expected = count_embeddings_bruteforce(query, mining_graph)
+        assert expected > 0
+        assert count_plan_sequential(
+            compile_pattern(query), mining_graph
+        ) == expected
+        for backend in BACKENDS:
+            config = GMinerConfig(cluster=small_spec, kernel_backend=backend)
+            result = mine(mining_graph, pattern=query, config=config)
+            assert result.status is JobStatus.OK
+            assert result.value == expected, backend
+
+    def test_precompiled_plan_accepted(self, mining_graph, small_spec):
+        plan = compile_pattern(motif("tailed-triangle"))
+        config = GMinerConfig(cluster=small_spec)
+        result = mine(mining_graph, pattern=plan, config=config)
+        assert result.value == count_plan_sequential(plan, mining_graph)
+
+    def test_plan_survives_task_splitting(self, mining_graph, small_spec):
+        baseline = mine(
+            mining_graph,
+            pattern="tailed-triangle",
+            config=GMinerConfig(cluster=small_spec),
+        )
+        split_config = GMinerConfig(
+            cluster=small_spec,
+            enable_splitting=True,
+            split_candidate_threshold=4,
+        )
+        split = mine(
+            mining_graph, pattern="tailed-triangle", config=split_config
+        )
+        assert split.value == baseline.value
+
+    def test_all_motifs_match_bruteforce(self, mining_graph, small_spec):
+        config = GMinerConfig(cluster=small_spec)
+        for name in ("4-cycle", "diamond", "3-path"):
+            expected = count_embeddings_bruteforce(motif(name), mining_graph)
+            result = mine(mining_graph, pattern=name, config=config)
+            assert (result.value or 0) == expected, name
+
+
+class TestPlanFaultTolerance:
+    """Regression: a checkpoint can land between a task's final round
+    and its completion callback; the snapshot must record the task as
+    completed, not re-execute it after recovery."""
+
+    @pytest.mark.parametrize("kill_fraction", [0.3, 0.6])
+    def test_plan_survives_worker_failure(
+        self, kill_fraction, mining_graph, small_spec
+    ):
+        config = GMinerConfig(
+            cluster=small_spec,
+            checkpoint_interval=0.02,
+            time_limit=120.0,
+        )
+        clean = mine(mining_graph, pattern="tailed-triangle", config=config)
+        assert clean.status is JobStatus.OK
+        kill_at = clean.setup_seconds + clean.mining_seconds * kill_fraction
+        plan = FailurePlan().kill(
+            node_id=1, at_time=kill_at, recovery_delay=0.05
+        )
+        result = mine(
+            mining_graph,
+            pattern="tailed-triangle",
+            config=config,
+            failure_plan=plan,
+        )
+        assert result.status is JobStatus.OK
+        assert result.value == clean.value
