@@ -23,6 +23,7 @@ from repro import kernels
 from repro.graph.generators import preferential_attachment_graph
 from repro.mining.cost import WorkMeter
 from repro.mining.triangles import triangle_count_sequential
+from repro.obs.env import environment_metadata
 
 RESULTS_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, "results", "BENCH_kernels.json"
@@ -124,6 +125,7 @@ def bench_kernels(n: int = GRAPH_N, m: int = GRAPH_M) -> Dict[str, object]:
 
     report = {
         "benchmark": "triangle-count microbench",
+        "env": environment_metadata(),
         "graph": {
             "generator": "preferential_attachment",
             "n": n,

@@ -43,6 +43,42 @@ def cmd_list() -> int:
     return 0
 
 
+def cmd_explain(names, execution=None, backend=None) -> int:
+    """Print the compiled plan / execution choice for each name, run nothing.
+
+    Names are built-in workload ids (``tc``..``gc``) or motif names
+    (``triangle``, ``tailed-triangle``, ...); the plan is compiled
+    against a small generated graph (plans are graph-independent, only
+    ``backend="auto"``'s density estimate reads it).
+    """
+    import repro
+    from repro.graph.generators import preferential_attachment_graph
+    from repro.plans.builtins import BUILTIN_PLANS
+
+    graph = preferential_attachment_graph(n=200, m=6, seed=0)
+    status = 0
+    for name in names:
+        print(f"=== {name} ===")
+        try:
+            if name in BUILTIN_PLANS:
+                text = repro.mine(
+                    graph, workload=name, execution=execution,
+                    backend=backend, explain=True,
+                )
+            else:
+                text = repro.mine(
+                    graph, pattern=name, execution=execution,
+                    backend=backend, explain=True,
+                )
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        print(text)
+        print()
+    return status
+
+
 def cmd_run(names, out_dir, workers, cache, trace_out=None, metrics_out=None) -> int:
     registry = _registry()
     if names == ["all"]:
@@ -128,9 +164,26 @@ def main(argv=None) -> int:
         help="write a JSON metrics snapshot covering every job run; "
         "forces --workers 1",
     )
+    run.add_argument(
+        "--explain", action="store_true",
+        help="treat names as workload/motif ids and print their compiled "
+        "plan, execution mode and backend choice without running anything",
+    )
+    run.add_argument(
+        "--execution", default=None, choices=("sim", "native"),
+        help="execution mode shown by --explain (default: config default)",
+    )
+    run.add_argument(
+        "--backend", default=None,
+        choices=("auto", "reference", "numpy", "bitset"),
+        help="kernel backend shown by --explain (default: config default)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.explain:
+        return cmd_explain(args.names, execution=args.execution,
+                           backend=args.backend)
     workers = args.workers if args.workers is not None else default_workers()
     cache = None if args.no_cache else BuildCache(directory=args.cache_dir)
     return cmd_run(args.names, args.out_dir, workers, cache,

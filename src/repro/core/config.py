@@ -125,6 +125,22 @@ class GMinerConfig:
     # -- job limits ------------------------------------------------------------
     time_limit: Optional[float] = None  # simulated seconds; None = unlimited
 
+    # -- execution engine ------------------------------------------------------
+    #: How the job actually runs.  "sim" (the default) executes on the
+    #: discrete-event cluster simulator and reports simulated time;
+    #: "native" executes the same tasks for real on a multiprocess pool
+    #: (:mod:`repro.native`) and reports wall-clock time.  Results and
+    #: total work-unit charges are bit-identical between the two for
+    #: every schedule-independent workload (see DESIGN.md's sim-vs-
+    #: native equivalence contract); native mode refuses failure plans.
+    execution: str = "sim"  # "sim" | "native"
+    #: Pool size for native execution; ``None`` uses every host core.
+    #: Results never depend on this — only wall-clock time does.
+    native_workers: Optional[int] = None
+    #: Seed vertices per work-stealing chunk in native mode.  Purely a
+    #: scheduling granularity: results and charges are chunk-invariant.
+    native_chunk_size: int = 64
+
     # -- set-operation kernels (repro.kernels) ---------------------------------
     #: Backend for sorted-array set operations.  ``None`` keeps the
     #: process-wide default (``REPRO_KERNEL_BACKEND`` or auto-detect);
@@ -168,6 +184,22 @@ class GMinerConfig:
             raise ValueError(
                 f"unknown cache policy {self.cache_policy!r}: expected 'rcv' "
                 "(reference-counting, the paper's default), 'lru' or 'fifo'"
+            )
+        if self.execution not in ("sim", "native"):
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}: expected 'sim' "
+                "(discrete-event simulator, the default) or 'native' "
+                "(real multiprocess pool, repro.native)"
+            )
+        if self.native_workers is not None and self.native_workers < 1:
+            raise ValueError(
+                f"native_workers must be >= 1 (or None for all host "
+                f"cores); got {self.native_workers!r}"
+            )
+        if self.native_chunk_size < 1:
+            raise ValueError(
+                f"native_chunk_size must be >= 1; got "
+                f"{self.native_chunk_size!r}"
             )
         if self.kernel_backend not in (None, "auto", "reference", "numpy", "bitset"):
             raise ValueError(

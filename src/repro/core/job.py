@@ -131,6 +131,12 @@ class JobResult:
     #: Finalized ``repro.obs`` snapshot (schema ``repro.obs.run/1``)
     #: when the job ran with observability on; ``None`` otherwise.
     obs: Optional[Dict[str, Any]] = None
+    #: Native-engine diagnostics (wall-clock seconds, pool size, steal
+    #: count, backend) when the job ran under ``execution="native"``;
+    #: ``None`` for simulated runs.  Deliberately separate from
+    #: ``stats``: these are schedule- and host-dependent, while every
+    #: ``stats`` entry of a native result is bit-deterministic.
+    native: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -183,6 +189,8 @@ class JobResult:
             out["utilization"] = {"times": times, **series}
         if self.trace is not None:
             out["trace_summary"] = self.trace.summary()
+        if self.native is not None:
+            out["native"] = dict(self.native)
         if self.obs is not None:
             # metrics travel (they are small and deterministic); the
             # full span list stays behind ``result.obs`` itself
@@ -284,6 +292,15 @@ class GMinerJob:
     # ------------------------------------------------------------------
 
     def run(self) -> JobResult:
+        if self.config.execution == "native":
+            # the real multiprocess engine; refuses failure plans and
+            # has no simulated timeline (lazy import: repro.native
+            # depends on this module)
+            from repro.native import run_native
+
+            return run_native(
+                self.app, self.graph, self.config, failure_plan=self.failure_plan
+            )
         if self.config.kernel_backend is None:
             return self._run()
         # pin the set-operation backend for the duration of the job;
@@ -703,6 +720,10 @@ class GMinerJob:
         timeline = UtilizationTimeline(meters=meters)
 
         stats: Dict[str, float] = {
+            # total charged work units across the cluster (the quantity
+            # the obs gate tracks and the native engine must reproduce
+            # bit-for-bit for schedule-independent workloads)
+            "work_units": sum(n.cores.total_work_units for n in cluster.nodes),
             "tasks_created": controller.total_created,
             "steals_brokered": self.master.steals_brokered if self.master else 0,
             "cache_hits": sum(c.hits for w in self.workers for c in w.caches),

@@ -1,0 +1,40 @@
+"""Native execution: run G-Miner jobs for real on a process pool.
+
+The bridge from "models the paper's cluster" to "is itself fast":
+``GMinerConfig(execution="native")`` (or ``repro.mine(...,
+execution="native")``) routes a job through :func:`run_native`, which
+executes the same tasks the simulator models across a multiprocess
+pool — per-worker chunk queues with seeded work stealing, the graph
+pickled once per worker, candidate-set work on the configured
+:mod:`repro.kernels` backend — and merges per-chunk outcomes by chunk
+id so results and total work-unit charges are bit-identical at any
+worker count, and (for every schedule-independent workload) to the
+simulated run itself.  ``python -m repro.verify.fuzz --native-axis``
+enforces the contract differentially; DESIGN.md states it precisely.
+"""
+
+from repro.native.engine import (
+    STEAL_SEED,
+    default_native_workers,
+    graph_payload,
+    run_native,
+    seed_chunks,
+)
+from repro.native.runtime import (
+    ChunkOutcome,
+    execute_chunk,
+    make_data_source,
+    run_task,
+)
+
+__all__ = [
+    "ChunkOutcome",
+    "STEAL_SEED",
+    "default_native_workers",
+    "execute_chunk",
+    "graph_payload",
+    "make_data_source",
+    "run_native",
+    "run_task",
+    "seed_chunks",
+]

@@ -1,0 +1,326 @@
+"""The native execution engine: run G-Miner jobs for real.
+
+``run_native(app, graph, config)`` executes the same tasks the
+simulator models — the six legacy workloads and any compiled
+:class:`~repro.plans.compiler.ExecutionPlan` — across a multiprocess
+pool and returns an ordinary :class:`~repro.core.job.JobResult`:
+
+* the seed-vertex space is cut into chunks (``native_chunk_size``)
+  assigned round-robin to per-worker queues;
+* idle workers *steal* from the tail of a seeded-random victim's
+  queue, so a straggler chunk never serialises the pool;
+* the graph (and app) is pickled **once** and shipped to each worker
+  at spawn, with the pickled payload and the chunk layout memoised in
+  the ambient :class:`~repro.parallel.cache.BuildCache` so repeated
+  native runs skip serialisation entirely;
+* per-chunk outcomes are merged **by chunk id** — never by completion
+  order — so the value, ``num_results`` and every stats entry are
+  bit-identical at any worker count and under any steal schedule.
+
+Total work units are accounted exactly as the simulator does (seed
+scan + per-round task charges); wall-clock time and schedule-dependent
+diagnostics (steal counts, pool size) live in ``result.native``, kept
+out of ``result.stats`` so stats stay byte-comparable across runs.
+
+Native mode refuses failure plans: the fault machinery (link faults,
+reboots, checkpoint recovery) lives in the simulated cluster and
+silently ignoring a chaos schedule would make a "fault tolerance"
+experiment vacuously pass.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import random
+import time
+import traceback
+from contextlib import nullcontext
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import kernels
+from repro.core.api import GMinerApp
+from repro.core.config import GMinerConfig
+from repro.core.job import JobResult, JobStatus
+from repro.graph.graph import Graph
+from repro.native.runtime import ChunkOutcome, execute_chunk, make_data_source
+from repro.parallel.cache import get_build_cache
+
+#: Fixed steal seed: victim selection is deterministic per (seed,
+#: worker), making reruns behave alike — though results never depend
+#: on the steal schedule in the first place.
+STEAL_SEED = 0xC0FFEE
+
+
+def default_native_workers() -> int:
+    """Default pool size: every core the host has."""
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# cached build artifacts
+# ----------------------------------------------------------------------
+
+
+def graph_payload(graph: Graph) -> bytes:
+    """The pickled graph, memoised in the active build cache.
+
+    Serialisation is the dominant setup cost of a pooled native run
+    (the graph ships once per worker); keying the bytes on the graph
+    fingerprint makes the second native run of the same graph a cache
+    hit.
+    """
+    build = lambda: pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+    cache = get_build_cache()
+    if cache is None:
+        return build()
+    return cache.lookup("native-graph", {"graph": graph.fingerprint()}, build)
+
+
+def seed_chunks(graph: Graph, chunk_size: int) -> List[List[int]]:
+    """Seed vertices cut into ascending-id chunks (cached like the
+    partition assignment: a pure function of graph and chunk size)."""
+    def build() -> List[List[int]]:
+        vids = sorted(graph.vertices())
+        return [vids[i : i + chunk_size] for i in range(0, len(vids), chunk_size)]
+
+    cache = get_build_cache()
+    if cache is None:
+        return build()
+    return cache.lookup(
+        "native-chunks",
+        {"graph": graph.fingerprint(), "chunk_size": chunk_size},
+        build,
+    )
+
+
+# ----------------------------------------------------------------------
+# the pool worker
+# ----------------------------------------------------------------------
+
+
+def _claim(
+    worker_id: int,
+    num_workers: int,
+    queues: Sequence[Sequence[int]],
+    counts,
+    rng: random.Random,
+) -> Tuple[Optional[int], bool]:
+    """Pop the next chunk id: own queue head first, else steal.
+
+    Stealing takes from the *tail* of a victim's queue (the classic
+    discipline: the owner drains its head, thieves bite the far end)
+    with the victim order drawn from the seeded per-worker RNG.
+    ``counts`` holds ``(head, tail)`` pairs per worker under one lock.
+    """
+    with counts.get_lock():
+        head, tail = counts[2 * worker_id], counts[2 * worker_id + 1]
+        if head < tail:
+            counts[2 * worker_id] = head + 1
+            return queues[worker_id][head], False
+        victims = [w for w in range(num_workers) if w != worker_id]
+        rng.shuffle(victims)
+        for victim in victims:
+            vhead, vtail = counts[2 * victim], counts[2 * victim + 1]
+            if vhead < vtail:
+                counts[2 * victim + 1] = vtail - 1
+                return queues[victim][vtail - 1], True
+    return None, False
+
+
+def _worker_main(
+    worker_id: int,
+    num_workers: int,
+    app_bytes: bytes,
+    graph_bytes: bytes,
+    backend: Optional[str],
+    chunks: List[List[int]],
+    queues: List[List[int]],
+    counts,
+    out_queue,
+) -> None:
+    """Pool-worker loop: unpickle once, then claim/steal until dry."""
+    try:
+        app = pickle.loads(app_bytes)
+        graph = pickle.loads(graph_bytes)
+        data_of = make_data_source(graph)
+        rng = random.Random(STEAL_SEED * 2654435761 + worker_id)
+        context = kernels.use_backend(backend) if backend else nullcontext()
+        with context:
+            while True:
+                chunk_id, stolen = _claim(
+                    worker_id, num_workers, queues, counts, rng
+                )
+                if chunk_id is None:
+                    break
+                outcome = execute_chunk(
+                    app, graph, chunk_id, chunks[chunk_id], data_of
+                )
+                out_queue.put(("chunk", outcome, stolen))
+        out_queue.put(("done", worker_id, None))
+    except BaseException:  # ship the traceback; never hang the parent
+        out_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork when available (cheap, no re-import); spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_pooled(
+    app: GMinerApp,
+    graph: Graph,
+    chunks: List[List[int]],
+    backend: Optional[str],
+    num_workers: int,
+) -> Tuple[List[ChunkOutcome], int]:
+    """Fan the chunks out over ``num_workers`` processes."""
+    ctx = _pool_context()
+    queues: List[List[int]] = [[] for _ in range(num_workers)]
+    for chunk_id in range(len(chunks)):
+        queues[chunk_id % num_workers].append(chunk_id)
+    counts = ctx.Array(
+        "l", [x for queue in queues for x in (0, len(queue))], lock=True
+    )
+    out_queue = ctx.SimpleQueue()
+    app_bytes = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+    graph_bytes = graph_payload(graph)
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                num_workers,
+                app_bytes,
+                graph_bytes,
+                backend,
+                chunks,
+                queues,
+                counts,
+                out_queue,
+            ),
+            daemon=True,
+        )
+        for worker_id in range(num_workers)
+    ]
+    for proc in procs:
+        proc.start()
+    outcomes: List[Optional[ChunkOutcome]] = [None] * len(chunks)
+    steals = 0
+    remaining = len(chunks)
+    live = num_workers
+    failure: Optional[str] = None
+    while (remaining > 0 or live > 0) and failure is None:
+        kind, payload, extra = out_queue.get()
+        if kind == "chunk":
+            outcomes[payload.chunk_id] = payload
+            steals += int(extra)
+            remaining -= 1
+        elif kind == "done":
+            live -= 1
+        else:  # "error"
+            failure = f"native worker {payload} died:\n{extra}"
+    if failure is not None:
+        for proc in procs:
+            proc.terminate()
+    for proc in procs:
+        proc.join()
+    if failure is not None:
+        raise RuntimeError(failure)
+    return outcomes, steals  # type: ignore[return-value]
+
+
+def run_native(
+    app: GMinerApp,
+    graph: Graph,
+    config: Optional[GMinerConfig] = None,
+    failure_plan: Any = None,
+    workers: Optional[int] = None,
+) -> JobResult:
+    """Execute ``app`` on ``graph`` for real; returns a JobResult.
+
+    ``workers`` overrides ``config.native_workers`` (``None`` → every
+    host core).  The returned result mirrors the simulated one where
+    the quantity exists natively — ``value``, ``aggregated``,
+    ``num_results``, ``stats["work_units"]``/``["tasks_created"]``/
+    ``["rounds_executed"]`` — and records wall-clock time plus
+    schedule-dependent diagnostics under ``result.native``.  Simulated
+    clock/network/memory fields stay at zero: native runs have no
+    simulated timeline.
+    """
+    config = config or GMinerConfig()
+    if failure_plan is not None:
+        raise ValueError(
+            "native execution cannot run a failure_plan: fault injection "
+            "(link faults, reboots, checkpoint recovery) lives in the "
+            "simulated cluster — use execution='sim' for chaos runs "
+            "instead of letting native mode silently ignore the schedule"
+        )
+    num_workers = workers or config.native_workers or default_native_workers()
+    backend = config.kernel_backend
+    started = time.perf_counter()
+    chunks = seed_chunks(graph, config.native_chunk_size)
+    num_workers = max(1, min(num_workers, len(chunks) or 1))
+    steals = 0
+    if num_workers == 1:
+        context = kernels.use_backend(backend) if backend else nullcontext()
+        data_of = make_data_source(graph)
+        with context:
+            outcomes = [
+                execute_chunk(app, graph, chunk_id, chunk, data_of)
+                for chunk_id, chunk in enumerate(chunks)
+            ]
+    else:
+        outcomes, steals = _run_pooled(app, graph, chunks, backend, num_workers)
+    wall_seconds = time.perf_counter() - started
+
+    # deterministic reduction: chunk id (ascending seed id) order, never
+    # completion order — the engine's bit-identity contract
+    results: List[Any] = []
+    offers: List[Any] = []
+    work_units = 0.0
+    rounds = 0
+    tasks_created = 0
+    for outcome in outcomes:
+        results.extend(outcome.results)
+        offers.extend(outcome.offers)
+        work_units += outcome.work_units
+        rounds += outcome.rounds
+        tasks_created += outcome.tasks_created
+
+    value = app.combine_results(results) if results else None
+    aggregated = None
+    aggregator = app.make_aggregator()
+    if aggregator is not None:
+        aggregated = aggregator.merge_all(offers) if offers else aggregator.initial()
+
+    stats: Dict[str, float] = {
+        "work_units": work_units,
+        "tasks_created": tasks_created,
+        "rounds_executed": rounds,
+        "native_chunks": len(chunks),
+    }
+    result = JobResult(
+        status=JobStatus.OK,
+        app_name=app.name,
+        value=value,
+        aggregated=aggregated,
+        num_results=len(results),
+        stats=stats,
+    )
+    result.native = {
+        "execution": "native",
+        "workers": num_workers,
+        "chunk_size": config.native_chunk_size,
+        "steals": steals,
+        "wall_seconds": wall_seconds,
+        "backend": backend or kernels.get_backend(),
+    }
+    return result

@@ -32,6 +32,7 @@ from typing import Dict
 
 from repro.obs import metrics as _metrics_mod
 from repro.obs import tracing as _tracing_mod
+from repro.obs.env import environment_metadata
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -65,6 +66,7 @@ __all__ = [
     "RUN_SCHEMA",
     "METRICS_SCHEMA",
     "allocation_counts",
+    "environment_metadata",
 ]
 
 

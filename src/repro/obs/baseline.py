@@ -21,6 +21,7 @@ import argparse
 from typing import Any, Dict, Iterable, Sequence, Tuple
 
 from repro.obs.compare import BENCH_SCHEMA
+from repro.obs.env import environment_metadata
 from repro.obs.session import ObsCollector, collecting
 
 #: The gate's cell matrix: small enough to finish in seconds, varied
@@ -75,6 +76,8 @@ def collect(
     return {
         "schema": BENCH_SCHEMA,
         "spec": {"num_nodes": BASELINE_NODES, "cores_per_node": BASELINE_CORES},
+        # attribution only: the gate compares cells, never env keys
+        "env": environment_metadata(),
         "cells": cell_records,
         "_collector": own_collector if collector is None else None,
     }

@@ -61,11 +61,15 @@ def compare(
     for cell in sorted(set(base_cells) & set(new_cells)):
         base_q, new_q = base_cells[cell], new_cells[cell]
         for quantity in TRACKED:
-            if quantity not in base_q and quantity not in new_q:
+            if quantity not in base_q:
+                # unknown to the baseline: a quantity added after it
+                # was pinned — tolerated so older baselines keep
+                # gating newer snapshots (re-baseline to start tracking)
                 continue
-            if quantity not in base_q or quantity not in new_q:
+            if quantity not in new_q:
                 problems.append(
-                    f"cell {cell}: quantity {quantity!r} present on only one side"
+                    f"cell {cell}: quantity {quantity!r} disappeared "
+                    "from new snapshot"
                 )
                 continue
             a, b = float(base_q[quantity]), float(new_q[quantity])

@@ -17,16 +17,19 @@ through the plan compiler and the generic executor.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
+from repro import kernels
 from repro.core.config import GMinerConfig
 from repro.core.job import GMinerJob, JobResult
 from repro.graph.graph import Graph
 from repro.mining.patterns import TreePattern
 from repro.plans.builtins import builtin_plan
 from repro.plans.compiler import ExecutionPlan, compile_pattern
-from repro.plans.executor import PlanApp
+from repro.plans.executor import PlanApp, select_step_backends
 from repro.plans.query import PatternQuery, motif
+
+_BACKEND_CHOICES = (None, "auto", "reference", "numpy", "bitset")
 
 
 def resolve_pattern(pattern: Any) -> ExecutionPlan:
@@ -49,6 +52,35 @@ def resolve_pattern(pattern: Any) -> ExecutionPlan:
     )
 
 
+def _explain_text(
+    describe: str,
+    config: GMinerConfig,
+    backend: Optional[str],
+    step_backends: Optional[Tuple[str, ...]],
+) -> str:
+    """The ``explain=True`` report: plan text + execution/backend lines."""
+    lines = [describe]
+    if config.execution == "native":
+        from repro.native import default_native_workers
+
+        workers = config.native_workers or default_native_workers()
+        lines.append(
+            f"execution: native (workers={workers}, "
+            f"chunk_size={config.native_chunk_size})"
+        )
+    else:
+        lines.append("execution: sim")
+    if step_backends is not None:
+        lines.append("backend: auto (per-step: " + ", ".join(step_backends) + ")")
+    elif backend == "auto":
+        lines.append("backend: auto")
+    else:
+        lines.append(
+            f"backend: {backend or config.kernel_backend or kernels.get_backend()}"
+        )
+    return "\n".join(lines)
+
+
 def mine(
     graph: Graph,
     *,
@@ -56,8 +88,11 @@ def mine(
     workload: Optional[str] = None,
     config: Optional[GMinerConfig] = None,
     failure_plan: Any = None,
+    execution: Optional[str] = None,
+    backend: Optional[str] = None,
+    explain: bool = False,
     **options: Any,
-) -> JobResult:
+) -> Any:
     """Mine ``graph`` for a pattern or a built-in workload.
 
     At least one of ``pattern`` and ``workload`` must be given
@@ -72,24 +107,65 @@ def mine(
     :class:`~repro.plans.compiler.ExecutionPlan`, run by the generic
     plan executor; the job value is the embedding count.
 
+    ``execution`` overrides ``config.execution`` (``"sim"`` runs the
+    modelled cluster, ``"native"`` runs the multiprocess engine —
+    bit-identical per DESIGN.md's equivalence contract).  ``backend``
+    picks the kernel backend: an explicit name pins every level (exact
+    legacy behaviour); ``"auto"`` lets the compiler choose per plan
+    step from candidate-set density (pattern path) or defers to the
+    runtime's density heuristic (workload path).  Explicit backends
+    and ``backend=None`` are untouched by the auto machinery.
+
+    ``explain=True`` runs *nothing*: it returns the compiled plan
+    description (or a one-line note for plan-less legacy workloads)
+    plus the execution mode and backend choice as a string.
+
     Extra keyword ``options`` parameterise built-in workloads (e.g.
     ``pattern=`` for ``gm``, ``k=`` for ``gl``, ``exemplars=`` for
     ``gc``); the pattern path accepts none.  ``config`` defaults to
     :class:`~repro.core.config.GMinerConfig`'s single-job defaults;
     ``failure_plan`` is forwarded to the job untouched.  Returns the
-    :class:`~repro.core.job.JobResult`.
+    :class:`~repro.core.job.JobResult` (or the explain string).
     """
     if pattern is None and workload is None:
         raise TypeError(
             "mine() needs exactly one of pattern= or workload= "
             "(both are keyword-only)"
         )
+    if backend not in _BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {backend!r}: expected one of "
+            f"{[b for b in _BACKEND_CHOICES if b]} or None"
+        )
+    if config is None:
+        config = GMinerConfig()
+    if execution is not None:
+        config = config.replace(execution=execution)
+    if backend is not None and backend != "auto":
+        config = config.replace(kernel_backend=backend)
+
+    step_backends: Optional[Tuple[str, ...]] = None
     if workload is not None:
         if pattern is not None:
             # alongside workload=, pattern= is a workload option (gm's
             # tree pattern); workloads that take none reject it by name
             options["pattern"] = pattern
-        app = builtin_plan(workload).build_app(graph, **options)
+        bp = builtin_plan(workload)
+        app = bp.build_app(graph, **options)
+        if backend == "auto":
+            # the legacy growers run one kernel level; defer to the
+            # runtime's own density-based auto resolution
+            config = config.replace(kernel_backend="auto")
+        if explain:
+            query = bp.query(**options)
+            if query is not None:
+                describe = compile_pattern(query).describe()
+            else:
+                describe = (
+                    f"workload {workload!r}: legacy grower "
+                    "(no fixed-pattern plan)"
+                )
+            return _explain_text(describe, config, backend, None)
     else:
         if options:
             raise TypeError(
@@ -97,8 +173,11 @@ def mine(
                 "take no extra options — encode constraints in the "
                 "PatternQuery itself"
             )
-        app = PlanApp(resolve_pattern(pattern))
-    if config is None:
-        config = GMinerConfig()
+        plan = resolve_pattern(pattern)
+        if backend == "auto":
+            step_backends = select_step_backends(plan, graph)
+        app = PlanApp(plan, step_backends=step_backends)
+        if explain:
+            return _explain_text(plan.describe(), config, backend, step_backends)
     job = GMinerJob(app, graph, config, failure_plan)
     return job.run()

@@ -20,6 +20,16 @@ backends; the runs must agree with each other on the full fingerprint,
 with the brute-force embedding oracle on the value, and with the
 legacy grower's result where one exists.
 
+With ``--native-axis`` every case also runs under the native
+multiprocess engine (:mod:`repro.native`) on its fault-free twin
+(native mode refuses chaos schedules): worker counts 1 and 2 — under
+*different* kernel backends — must agree on the full result
+fingerprint, and the native run must match the simulated one per
+DESIGN.md's equivalence contract (value/aggregated always; raw value,
+``num_results``, ``tasks_created`` for every schedule-independent
+workload; ``work_units`` additionally when the simulated cache never
+re-pulled).  A compiled tailed-triangle plan rides the same checks.
+
 Any mismatch (or :class:`~repro.verify.InvariantViolation`) is shrunk
 by delta-debugging the vertex set (induced subgraphs) and simplifying
 the configuration, then persisted as a replayable JSON repro
@@ -248,16 +258,21 @@ def _fingerprint(result) -> Dict[str, Any]:
 
 
 def check_case(
-    case: Dict[str, Any], plan_axis: Optional[bool] = None
+    case: Dict[str, Any],
+    plan_axis: Optional[bool] = None,
+    native_axis: Optional[bool] = None,
 ) -> List[str]:
     """Run the differential triad; return mismatch descriptions.
 
-    ``plan_axis`` arms the plan-vs-legacy axis; ``None`` (the default)
-    reads the case's own ``"plan_axis"`` key, so persisted plan-axis
-    repros replay with the axis armed.
+    ``plan_axis`` arms the plan-vs-legacy axis, ``native_axis`` the
+    sim-vs-native one; ``None`` (the default) reads the case's own
+    ``"plan_axis"``/``"native_axis"`` keys, so persisted repros replay
+    with their axes armed.
     """
     if plan_axis is None:
         plan_axis = bool(case.get("plan_axis", False))
+    if native_axis is None:
+        native_axis = bool(case.get("native_axis", False))
     workload = case["workload"]
     backend_a, backend_b = case["backends"]
     try:
@@ -291,6 +306,156 @@ def check_case(
         )
     if plan_axis:
         mismatches.extend(check_plan_axis(case, result_a.value))
+    if native_axis:
+        mismatches.extend(check_native_axis(case))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# the sim-vs-native axis
+# ----------------------------------------------------------------------
+
+
+def fault_free_case(case: Dict[str, Any]) -> Dict[str, Any]:
+    """The case with its chaos schedule stripped.
+
+    Native execution refuses failure plans (by design), so the
+    simulated leg of the sim-vs-native comparison must run fault-free
+    too — recovered runs re-execute tasks and over-count work.
+    """
+    pure = dict(case)
+    pure["failure_plan"] = None
+    pure["config"] = {
+        k: v for k, v in case["config"].items() if k != "checkpoint_interval"
+    }
+    return pure
+
+
+def run_native_case(case: Dict[str, Any], workers: int, backend: str):
+    """One native-engine run of the case's workload."""
+    graph = graph_from_case(case)
+    # chunk_size 16 so even the fuzzer's small graphs split into
+    # enough chunks that workers=2 genuinely exercises the pool
+    config = GMinerConfig(
+        execution="native",
+        native_workers=workers,
+        native_chunk_size=16,
+        kernel_backend=backend,
+    )
+    job = GMinerJob(_build_app(case, graph), graph, config)
+    return job.run()
+
+
+def _native_vs_sim(tag: str, sim, native, workload: Optional[str]) -> List[str]:
+    """The equivalence-contract comparison for one sim/native pair.
+
+    ``workload=None`` means a compiled plan (schedule-independent by
+    construction); ``"mcf"`` is the one schedule-*dependent* workload —
+    its branch-and-bound pruning feeds on the evolving global bound, so
+    only the answer and the aggregated bound are required to agree.
+    """
+    mismatches: List[str] = []
+    if workload is not None:
+        sim_value = normalize_value(workload, sim.value)
+        native_value = normalize_value(workload, native.value)
+    else:
+        sim_value, native_value = sim.value, native.value
+    if sim_value != native_value:
+        mismatches.append(
+            f"{tag}: sim value {sim_value!r} != native value {native_value!r}"
+        )
+    if sim.aggregated != native.aggregated:
+        mismatches.append(
+            f"{tag}: sim aggregated {sim.aggregated!r} != "
+            f"native aggregated {native.aggregated!r}"
+        )
+    if workload == "mcf":
+        return mismatches
+    if sim.num_results != native.num_results:
+        mismatches.append(
+            f"{tag}: sim num_results {sim.num_results} != "
+            f"native {native.num_results}"
+        )
+    if sim.stats.get("tasks_created") != native.stats.get("tasks_created"):
+        mismatches.append(
+            f"{tag}: sim tasks_created {sim.stats.get('tasks_created')!r} != "
+            f"native {native.stats.get('tasks_created')!r}"
+        )
+    # each simulated cache re-pull charges one extra work unit the
+    # native engine (full graph access, no cache) can never incur
+    if sim.stats.get("re_pulls", 0) == 0 and (
+        sim.stats.get("work_units") != native.stats.get("work_units")
+    ):
+        mismatches.append(
+            f"{tag}: sim work_units {sim.stats.get('work_units')!r} != "
+            f"native {native.stats.get('work_units')!r}"
+        )
+    return mismatches
+
+
+def check_native_axis(case: Dict[str, Any]) -> List[str]:
+    """Native vs itself across worker counts *and* backends, then
+    native vs the fault-free simulated run, for the legacy workload and
+    a compiled tailed-triangle plan."""
+    mismatches: List[str] = []
+    pure = fault_free_case(case)
+    workload = case["workload"]
+    backend_a, backend_b = case["backends"]
+    native_1 = run_native_case(pure, 1, backend_a)
+    native_2 = run_native_case(pure, 2, backend_b)
+    fp_1, fp_2 = _fingerprint(native_1), _fingerprint(native_2)
+    if fp_1 != fp_2:
+        diff = {
+            key: (fp_1[key], fp_2[key]) for key in fp_1 if fp_1[key] != fp_2[key]
+        }
+        mismatches.append(
+            f"native axis: workers=1/{backend_a} vs workers=2/{backend_b} "
+            f"diverged: {diff!r}"
+        )
+    try:
+        sim = run_distributed(pure, backend_a)
+    except InvariantViolation as violation:
+        mismatches.append(f"native axis: sim leg invariant violation: {violation}")
+        return mismatches
+    if sim.status is not JobStatus.OK:
+        mismatches.append(
+            f"native axis: sim leg did not complete: {sim.status.value}"
+        )
+        return mismatches
+    mismatches.extend(
+        _native_vs_sim(f"native axis [{workload}]", sim, native_1, workload)
+    )
+    query = motif("tailed-triangle")
+    graph = graph_from_case(pure)
+    # the plan leg runs under the case's cluster shape but default
+    # cache knobs: pathologically tight capacities make the simulated
+    # cache thrash for minutes on multi-round plans (a simulator
+    # performance cliff, not a correctness axis worth fuzzing here)
+    sim_config = GMinerConfig(
+        cluster=ClusterSpec(
+            num_nodes=case["num_nodes"], cores_per_node=case["cores_per_node"]
+        ),
+        verify=True,
+        kernel_backend=backend_a,
+    )
+    plan_sim = GMinerJob(
+        PlanApp(compile_pattern(query)), graph, sim_config
+    ).run()
+    plan_config = GMinerConfig(
+        execution="native",
+        native_workers=2,
+        native_chunk_size=16,
+        kernel_backend=backend_a,
+    )
+    plan_native = GMinerJob(
+        PlanApp(compile_pattern(query)), graph, plan_config
+    ).run()
+    if plan_sim.status is JobStatus.OK:
+        mismatches.extend(
+            _native_vs_sim(
+                "native axis [plan:tailed-triangle]", plan_sim, plan_native, None
+            )
+        )
     return mismatches
 
 
@@ -501,6 +666,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also differential-test the pattern plan compiler "
              "(plan-vs-legacy, plan-vs-brute-force, plan-vs-backends)",
     )
+    parser.add_argument(
+        "--native-axis", action="store_true",
+        help="also differential-test the native multiprocess engine "
+             "(native-vs-native across worker counts and backends, "
+             "native-vs-sim per the equivalence contract)",
+    )
     args = parser.parse_args(argv)
     if args.replay:
         return replay(args.replay)
@@ -512,6 +683,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.plan_axis:
             # recorded on the case so shrinking and replay keep the axis
             case["plan_axis"] = True
+        if args.native_axis:
+            case["native_axis"] = True
         mismatches = check_case(case)
         tag = (
             f"[{iteration + 1}/{args.iterations}] seed={case_seed} "

@@ -112,6 +112,62 @@ class TestPlantedDivergence:
         assert "MISMATCH" in capsys.readouterr().out
 
 
+class TestNativeAxis:
+    def test_clean_case_passes_native_axis(self):
+        case = fuzz.generate_case(TC_SEED)
+        case["native_axis"] = True
+        assert fuzz.check_case(case) == []
+
+    def test_fault_free_case_strips_chaos(self):
+        case = fuzz.generate_case(TC_SEED)
+        case["failure_plan"] = {"seed": 1, "kills": [], "lossy": []}
+        case["config"] = dict(case["config"], checkpoint_interval=0.02)
+        pure = fuzz.fault_free_case(case)
+        assert pure["failure_plan"] is None
+        assert "checkpoint_interval" not in pure["config"]
+        # the original case is untouched
+        assert case["failure_plan"] is not None
+
+    def test_native_axis_detects_divergence(self, planted_divergence):
+        # the planted tc bug lives in TCTask.update, which the native
+        # engine executes too — but the single-thread oracle does not,
+        # so the native-vs-sim value check alone would agree; the axis
+        # still runs, and the triad's oracle check reports the bug
+        case = fuzz.generate_case(TC_SEED)
+        case["native_axis"] = True
+        mismatches = fuzz.check_case(case)
+        assert any("oracle" in m for m in mismatches)
+
+    def test_native_axis_detects_native_only_divergence(self, monkeypatch):
+        """A bug only the native engine has is caught by the axis."""
+        from repro.native import engine as native_engine
+
+        original = native_engine.run_native
+
+        def tampered(app, graph, config=None, failure_plan=None, workers=None):
+            result = original(app, graph, config, failure_plan, workers)
+            if result.value is not None:
+                result.value += 1
+            return result
+
+        monkeypatch.setattr(native_engine, "run_native", tampered)
+        # the dispatch in GMinerJob.run imports lazily from repro.native
+        import repro.native
+
+        monkeypatch.setattr(repro.native, "run_native", tampered)
+        case = fuzz.generate_case(TC_SEED)
+        mismatches = fuzz.check_native_axis(case)
+        assert any("native" in m for m in mismatches)
+
+    def test_cli_native_axis_smoke(self, tmp_path, capsys):
+        rc = fuzz.main([
+            "--iterations", "2", "--seed", "3",
+            "--out", str(tmp_path), "--native-axis",
+        ])
+        assert rc == 0
+        assert "2 case(s), 0 failure(s)" in capsys.readouterr().out
+
+
 class TestReplay:
     def test_replay_returns_zero_when_fixed(self, tmp_path, capsys):
         # a repro persisted while a (since-fixed) bug was live now passes

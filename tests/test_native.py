@@ -1,0 +1,294 @@
+"""The native execution engine's contracts.
+
+Three families of guarantees:
+
+* **sim-vs-native equivalence** — every schedule-independent workload
+  (tc/gm/gl/cd/gc and any compiled plan) produces the identical value,
+  ``num_results`` and total work-unit charges under
+  ``execution="native"`` as under the simulator, at any worker count;
+  MCF (whose branch-and-bound pruning feeds on the evolving global
+  bound, a schedule artefact) still agrees on the answer and the
+  aggregated bound;
+* **native determinism** — the full result is byte-identical across
+  worker counts and repeated runs, the steal schedule notwithstanding;
+* **refusals and knobs** — failure plans fail fast, config validation
+  rejects nonsense, ``backend="auto"`` never changes explicit-backend
+  results, ``explain=True`` runs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.apps import (
+    CommunityDetectionApp,
+    GraphClusteringApp,
+    GraphMatchingApp,
+    GraphletCountingApp,
+    MaxCliqueApp,
+    TriangleCountingApp,
+)
+from repro.core.config import GMinerConfig
+from repro.core.job import GMinerJob, JobStatus
+from repro.graph.generators import random_attributes
+from repro.native import run_native, seed_chunks
+from repro.parallel import BuildCache
+from repro.parallel.cache import set_build_cache
+from repro.plans import PlanApp, compile_pattern, motif
+from repro.sim.cluster import ClusterSpec
+from repro.sim.failures import FailurePlan
+from repro.verify.metamorphic import normalize_value
+
+from .conftest import make_clustered_graph
+
+WORKER_COUNTS = (1, 2, 4)
+#: Small chunks so even the test graphs exercise stealing at 2+ workers.
+CHUNK = 16
+
+
+def _attributed_graph():
+    graph = make_clustered_graph()
+    random_attributes(graph, seed=11)
+    return graph
+
+
+def _app_factories():
+    """(workload, graph, app factory) for all six legacy workloads."""
+    plain = make_clustered_graph()
+    labeled = make_clustered_graph(labeled=True)
+    attributed = _attributed_graph()
+    exemplars = sorted(attributed.vertices())[:3]
+    return [
+        ("tc", plain, TriangleCountingApp),
+        ("mcf", plain, MaxCliqueApp),
+        ("gm", labeled, GraphMatchingApp),
+        ("gl", plain, lambda: GraphletCountingApp(k=4, classify=True)),
+        ("cd", attributed, CommunityDetectionApp),
+        ("gc", attributed,
+         lambda: GraphClusteringApp(
+             [attributed.attributes(e) for e in exemplars])),
+    ]
+
+
+def _native(app_factory, graph, workers, **config_overrides):
+    config = GMinerConfig(
+        execution="native",
+        native_workers=workers,
+        native_chunk_size=CHUNK,
+        **config_overrides,
+    )
+    return GMinerJob(app_factory(), graph, config).run()
+
+
+def _sim(app_factory, graph):
+    config = GMinerConfig(
+        cluster=ClusterSpec(num_nodes=4, cores_per_node=2)
+    )
+    return GMinerJob(app_factory(), graph, config).run()
+
+
+def _comparable_dict(result):
+    """``to_dict`` minus the deliberately schedule/host-dependent part."""
+    out = result.to_dict()
+    out.pop("native", None)
+    return out
+
+
+# ----------------------------------------------------------------------
+# sim-vs-native equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "workload", ["tc", "mcf", "gm", "gl", "cd", "gc"]
+)
+def test_six_workloads_match_sim_at_all_worker_counts(workload):
+    _, graph, factory = next(
+        row for row in _app_factories() if row[0] == workload
+    )
+    sim = _sim(factory, graph)
+    assert sim.status is JobStatus.OK
+    natives = [_native(factory, graph, w) for w in WORKER_COUNTS]
+    # native runs are bit-identical to each other at every worker count
+    for other in natives[1:]:
+        assert _comparable_dict(other) == _comparable_dict(natives[0])
+    native = natives[0]
+    assert native.status is JobStatus.OK
+    if workload == "mcf":
+        # the one schedule-dependent workload: the evolving global bound
+        # prunes differently under different schedules, so only the
+        # answer and the aggregated bound are required to agree
+        assert normalize_value("mcf", native.value) == normalize_value(
+            "mcf", sim.value
+        )
+        assert native.aggregated == sim.aggregated
+        return
+    assert native.value == sim.value
+    assert native.num_results == sim.num_results
+    assert native.stats["tasks_created"] == sim.stats["tasks_created"]
+    assert sim.stats.get("re_pulls", 0) == 0  # precondition for work identity
+    assert native.stats["work_units"] == sim.stats["work_units"]
+
+
+@pytest.mark.parametrize(
+    "pattern", ["triangle", "tailed-triangle", "diamond"]
+)
+def test_compiled_motifs_match_sim_at_all_worker_counts(pattern):
+    graph = make_clustered_graph()
+    factory = lambda: PlanApp(compile_pattern(motif(pattern)))
+    sim = _sim(factory, graph)
+    natives = [_native(factory, graph, w) for w in WORKER_COUNTS]
+    for other in natives[1:]:
+        assert _comparable_dict(other) == _comparable_dict(natives[0])
+    native = natives[0]
+    assert native.status is JobStatus.OK
+    assert native.value == sim.value
+    assert native.num_results == sim.num_results
+    assert native.stats["tasks_created"] == sim.stats["tasks_created"]
+    assert native.stats["work_units"] == sim.stats["work_units"]
+
+
+def test_mine_execution_native_roundtrip(small_social_graph):
+    sim = repro.mine(small_social_graph, pattern="triangle")
+    native = repro.mine(
+        small_social_graph, pattern="triangle", execution="native"
+    )
+    assert native.value == sim.value
+    assert native.stats["work_units"] == sim.stats["work_units"]
+    assert native.native["execution"] == "native"
+
+
+# ----------------------------------------------------------------------
+# native determinism
+# ----------------------------------------------------------------------
+
+
+def test_repeated_native_runs_byte_identical():
+    graph = make_clustered_graph()
+    first = _native(TriangleCountingApp, graph, 2)
+    second = _native(TriangleCountingApp, graph, 2)
+    assert json.dumps(_comparable_dict(first), sort_keys=True) == json.dumps(
+        _comparable_dict(second), sort_keys=True
+    )
+
+
+def test_native_diagnostics_live_outside_stats():
+    graph = make_clustered_graph()
+    result = _native(TriangleCountingApp, graph, 2)
+    assert set(result.native) == {
+        "execution", "workers", "chunk_size", "steals", "wall_seconds",
+        "backend",
+    }
+    assert result.native["workers"] == 2
+    assert "wall_seconds" not in result.stats
+    assert result.to_dict()["native"]["chunk_size"] == CHUNK
+
+
+def test_build_cache_hit_on_second_native_run():
+    graph = make_clustered_graph()
+    cache = BuildCache(persist=False)
+    previous = set_build_cache(cache)
+    try:
+        _native(TriangleCountingApp, graph, 2)
+        after_first = dict(cache.stats())
+        _native(TriangleCountingApp, graph, 2)
+        after_second = dict(cache.stats())
+    finally:
+        set_build_cache(previous)
+    # first run builds the pickled graph payload and the chunk layout;
+    # the second reuses both
+    assert after_first["misses"] >= 2
+    assert after_second["hits"] >= after_first["hits"] + 2
+    assert after_second["misses"] == after_first["misses"]
+
+
+def test_seed_chunks_cover_every_vertex_once():
+    graph = make_clustered_graph()
+    chunks = seed_chunks(graph, 16)
+    flat = [vid for chunk in chunks for vid in chunk]
+    assert flat == sorted(graph.vertices())
+    assert all(len(chunk) <= 16 for chunk in chunks)
+
+
+# ----------------------------------------------------------------------
+# refusals and knobs
+# ----------------------------------------------------------------------
+
+
+def test_native_refuses_failure_plan_direct():
+    graph = make_clustered_graph()
+    plan = FailurePlan(seed=5).kill(0, at_time=0.05, recovery_delay=0.02)
+    with pytest.raises(ValueError, match="failure_plan"):
+        run_native(TriangleCountingApp(), graph, failure_plan=plan)
+
+
+def test_native_refuses_failure_plan_via_job():
+    graph = make_clustered_graph()
+    plan = FailurePlan(seed=5).kill(0, at_time=0.05, recovery_delay=0.02)
+    config = GMinerConfig(execution="native", checkpoint_interval=0.05)
+    job = GMinerJob(TriangleCountingApp(), graph, config, plan)
+    with pytest.raises(ValueError, match="sim"):
+        job.run()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="execution"):
+        GMinerConfig(execution="gpu")
+    with pytest.raises(ValueError, match="native_workers"):
+        GMinerConfig(native_workers=0)
+    with pytest.raises(ValueError, match="native_chunk_size"):
+        GMinerConfig(native_chunk_size=0)
+
+
+def test_auto_backend_leaves_explicit_backends_unchanged(small_social_graph):
+    """The pin: explicit backends bypass the auto machinery entirely."""
+    explicit = {
+        backend: repro.mine(
+            small_social_graph, pattern="tailed-triangle", backend=backend
+        )
+        for backend in ("reference", "bitset")
+    }
+    baseline = repro.mine(small_social_graph, pattern="tailed-triangle")
+    for backend, result in explicit.items():
+        assert result.value == baseline.value
+        assert result.stats == baseline.stats, backend
+    auto = repro.mine(
+        small_social_graph, pattern="tailed-triangle", backend="auto"
+    )
+    assert auto.value == baseline.value
+    assert auto.stats["work_units"] == baseline.stats["work_units"]
+
+
+def test_auto_backend_selects_per_step(small_social_graph):
+    from repro.plans.executor import select_step_backends
+
+    plan = compile_pattern(motif("tailed-triangle"))
+    selected = select_step_backends(plan, small_social_graph)
+    assert len(selected) == len(plan.steps)
+    assert all(
+        backend in ("reference", "numpy", "bitset") for backend in selected
+    )
+
+
+def test_mine_rejects_unknown_backend(small_social_graph):
+    with pytest.raises(ValueError, match="backend"):
+        repro.mine(small_social_graph, workload="tc", backend="cuda")
+
+
+def test_explain_returns_text_without_running(small_social_graph):
+    text = repro.mine(
+        small_social_graph, pattern="tailed-triangle",
+        execution="native", backend="auto", explain=True,
+    )
+    assert isinstance(text, str)
+    assert "plan 'tailed-triangle'" in text
+    assert "execution: native" in text
+    assert "backend: auto (per-step:" in text
+    legacy = repro.mine(small_social_graph, workload="mcf", explain=True)
+    assert "legacy grower" in legacy
+    assert "execution: sim" in legacy
+    tc = repro.mine(small_social_graph, workload="tc", explain=True)
+    assert "plan 'triangle'" in tc

@@ -311,6 +311,32 @@ class TestCompareGate:
         assert obs_compare.main([a, b]) == 0
         assert obs_compare.main([a, b, "--rtol", "1e-15"]) == 1
 
+    def test_quantity_unknown_to_baseline_is_tolerated(self, tmp_path):
+        """A quantity added after the baseline was pinned isn't drift."""
+        older = copy.deepcopy(BASE_DOC)
+        del older["cells"]["tc/skitter-s"]["work_units"]
+        a = self._write(tmp_path, "base.json", older)
+        b = self._write(tmp_path, "new.json", BASE_DOC)
+        assert obs_compare.main([a, b]) == 0
+
+    def test_quantity_disappearing_from_new_is_drift(self, tmp_path, capsys):
+        shrunk = copy.deepcopy(BASE_DOC)
+        del shrunk["cells"]["tc/skitter-s"]["work_units"]
+        a = self._write(tmp_path, "base.json", BASE_DOC)
+        b = self._write(tmp_path, "new.json", shrunk)
+        assert obs_compare.main([a, b]) == 1
+        assert "disappeared" in capsys.readouterr().out
+
+    def test_env_metadata_in_fresh_collect(self):
+        from repro.obs import environment_metadata
+
+        env = environment_metadata()
+        assert set(env) >= {
+            "python", "implementation", "numpy", "cpu_count", "platform",
+            "machine",
+        }
+        assert env["cpu_count"] >= 1
+
     def test_bad_schema_exits_two(self, tmp_path, capsys):
         bad = dict(BASE_DOC, schema="something/else")
         a = self._write(tmp_path, "base.json", BASE_DOC)
