@@ -9,6 +9,7 @@ settings (§7).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -140,6 +141,20 @@ class GMinerConfig:
     #: Seed vertices per work-stealing chunk in native mode.  Purely a
     #: scheduling granularity: results and charges are chunk-invariant.
     native_chunk_size: int = 64
+    #: Native supervision: wall-clock seconds a worker may hold one
+    #: chunk before the supervisor presumes it hung, terminates it and
+    #: retries the chunk elsewhere.  ``None`` uses the engine default
+    #: (60s); only meaningful under ``execution="native"``.
+    native_chunk_deadline: Optional[float] = None
+    #: Native supervision: failed attempts a chunk may accumulate
+    #: (worker crashes, lease expiries, transient errors) before it is
+    #: quarantined and the run fails with a structured
+    #: ``NativeChunkError``.  ``None`` uses the engine default (2).
+    native_max_chunk_retries: Optional[int] = None
+    #: Native supervision: dead workers the supervisor may replace
+    #: before degrading to a smaller pool (and ultimately an in-process
+    #: serial fallback).  ``None`` uses the engine default (2).
+    native_max_respawns: Optional[int] = None
 
     # -- set-operation kernels (repro.kernels) ---------------------------------
     #: Backend for sorted-array set operations.  ``None`` keeps the
@@ -200,6 +215,46 @@ class GMinerConfig:
             raise ValueError(
                 f"native_chunk_size must be >= 1; got "
                 f"{self.native_chunk_size!r}"
+            )
+        if self.execution != "native":
+            # the supervision knobs govern the real process pool only;
+            # silently accepting them on a simulated job would make a
+            # "we survived chaos" experiment vacuous
+            for knob in (
+                "native_chunk_deadline",
+                "native_max_chunk_retries",
+                "native_max_respawns",
+            ):
+                if getattr(self, knob) is not None:
+                    raise ValueError(
+                        f"{knob} only applies to execution='native' "
+                        f"(got execution={self.execution!r}); the simulator's "
+                        "fault machinery is configured through FailurePlan "
+                        "and the §7 knobs instead"
+                    )
+        if self.native_chunk_deadline is not None and not (
+            self.native_chunk_deadline > 0
+            and math.isfinite(self.native_chunk_deadline)
+        ):
+            raise ValueError(
+                f"native_chunk_deadline must be a positive (finite) number "
+                f"of wall-clock seconds, or None for the engine default; "
+                f"got {self.native_chunk_deadline!r}"
+            )
+        if (
+            self.native_max_chunk_retries is not None
+            and self.native_max_chunk_retries < 0
+        ):
+            raise ValueError(
+                f"native_max_chunk_retries cannot be negative; got "
+                f"{self.native_max_chunk_retries!r} (0 quarantines a chunk "
+                "on its first failure)"
+            )
+        if self.native_max_respawns is not None and self.native_max_respawns < 0:
+            raise ValueError(
+                f"native_max_respawns cannot be negative; got "
+                f"{self.native_max_respawns!r} (0 never replaces a dead "
+                "worker: the pool only shrinks)"
             )
         if self.kernel_backend not in (None, "auto", "reference", "numpy", "bitset"):
             raise ValueError(

@@ -230,8 +230,23 @@ class GMinerJob:
         self.config.validate()
         if failure_plan is not None:
             # fail fast: a malformed chaos schedule should surface at
-            # construction, not minutes into the run
-            failure_plan.validate(num_nodes=self.config.cluster.num_nodes)
+            # construction, not minutes into the run.  Native fault
+            # plans target real worker processes and are only
+            # meaningful under execution="native" (lazy import:
+            # repro.native depends on this module).
+            from repro.native.chaos import NativeFaultPlan
+
+            if isinstance(failure_plan, NativeFaultPlan):
+                if self.config.execution != "native":
+                    raise ValueError(
+                        "NativeFaultPlan injects faults into the real "
+                        "process pool and requires execution='native'; "
+                        "use sim.failures.FailurePlan for simulated "
+                        "chaos runs"
+                    )
+                failure_plan.validate()
+            else:
+                failure_plan.validate(num_nodes=self.config.cluster.num_nodes)
         self.failure_plan = failure_plan
         self.workers: List[SimWorker] = []
         self.master: Optional[Master] = None

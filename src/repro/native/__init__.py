@@ -11,8 +11,17 @@ id so results and total work-unit charges are bit-identical at any
 worker count, and (for every schedule-independent workload) to the
 simulated run itself.  ``python -m repro.verify.fuzz --native-axis``
 enforces the contract differentially; DESIGN.md states it precisely.
+
+The pool is *supervised* (:mod:`repro.native.supervisor`): worker
+crashes, hangs and transient chunk errors are retried within bounded
+budgets, and a :class:`NativeFaultPlan` (:mod:`repro.native.chaos`)
+injects real seeded faults so the contract is asserted under chaos —
+survivable schedules stay bit-identical to the fault-free run;
+unsurvivable ones raise a structured :class:`NativeChunkError`.
+``python -m repro.verify.fuzz --native-chaos`` fuzzes exactly that.
 """
 
+from repro.native.chaos import FAULT_EXIT_CODE, NativeFaultPlan
 from repro.native.engine import (
     STEAL_SEED,
     default_native_workers,
@@ -26,10 +35,26 @@ from repro.native.runtime import (
     make_data_source,
     run_task,
 )
+from repro.native.supervisor import (
+    DEFAULT_CHUNK_DEADLINE,
+    DEFAULT_MAX_CHUNK_RETRIES,
+    DEFAULT_MAX_RESPAWNS,
+    ChunkFailure,
+    NativeChunkError,
+    Supervisor,
+)
 
 __all__ = [
+    "ChunkFailure",
     "ChunkOutcome",
+    "DEFAULT_CHUNK_DEADLINE",
+    "DEFAULT_MAX_CHUNK_RETRIES",
+    "DEFAULT_MAX_RESPAWNS",
+    "FAULT_EXIT_CODE",
+    "NativeChunkError",
+    "NativeFaultPlan",
     "STEAL_SEED",
+    "Supervisor",
     "default_native_workers",
     "execute_chunk",
     "graph_payload",

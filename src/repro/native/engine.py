@@ -15,17 +15,27 @@ pool and returns an ordinary :class:`~repro.core.job.JobResult`:
   native runs skip serialisation entirely;
 * per-chunk outcomes are merged **by chunk id** — never by completion
   order — so the value, ``num_results`` and every stats entry are
-  bit-identical at any worker count and under any steal schedule.
+  bit-identical at any worker count and under any steal schedule;
+* the pool runs under the :mod:`~repro.native.supervisor`: worker
+  deaths, hangs (chunk-lease deadlines) and transient chunk errors are
+  retried/respawned within bounded budgets, poison chunks surface a
+  structured :class:`~repro.native.supervisor.NativeChunkError`, and —
+  because chunk outcomes are pure — results under every *survivable*
+  fault schedule are bit-identical to the fault-free run.
 
 Total work units are accounted exactly as the simulator does (seed
 scan + per-round task charges); wall-clock time and schedule-dependent
-diagnostics (steal counts, pool size) live in ``result.native``, kept
-out of ``result.stats`` so stats stay byte-comparable across runs.
+diagnostics (steal counts, pool size, crash/retry/respawn tallies)
+live in ``result.native``, kept out of ``result.stats`` so stats stay
+byte-comparable across runs.
 
-Native mode refuses failure plans: the fault machinery (link faults,
-reboots, checkpoint recovery) lives in the simulated cluster and
-silently ignoring a chaos schedule would make a "fault tolerance"
-experiment vacuously pass.
+Fault injection: a :class:`~repro.native.chaos.NativeFaultPlan` is the
+native analogue of the simulator's ``FailurePlan`` — seeded crashes
+(``os._exit``), hangs, stragglers and transient chunk errors injected
+into the *actual worker processes*.  Simulated failure plans (link
+faults, reboots, checkpoint recovery) are still refused: that
+machinery models the paper's cluster and silently ignoring it would
+make a "fault tolerance" experiment vacuously pass.
 """
 
 from __future__ import annotations
@@ -33,24 +43,34 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import random
 import time
-import traceback
 from contextlib import nullcontext
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro import kernels
 from repro.core.api import GMinerApp
 from repro.core.config import GMinerConfig
 from repro.core.job import JobResult, JobStatus
 from repro.graph.graph import Graph
-from repro.native.runtime import ChunkOutcome, execute_chunk, make_data_source
+from repro.native.chaos import NativeFaultPlan
+from repro.native.runtime import execute_chunk, make_data_source
+from repro.native.supervisor import (
+    DEFAULT_CHUNK_DEADLINE,
+    DEFAULT_MAX_CHUNK_RETRIES,
+    DEFAULT_MAX_RESPAWNS,
+    STEAL_SEED,
+    Supervisor,
+)
+from repro.obs import MASTER_TID, ObsSession, current_collector
 from repro.parallel.cache import get_build_cache
 
-#: Fixed steal seed: victim selection is deterministic per (seed,
-#: worker), making reruns behave alike — though results never depend
-#: on the steal schedule in the first place.
-STEAL_SEED = 0xC0FFEE
+__all__ = [
+    "STEAL_SEED",
+    "default_native_workers",
+    "graph_payload",
+    "run_native",
+    "seed_chunks",
+]
 
 
 def default_native_workers() -> int:
@@ -96,74 +116,6 @@ def seed_chunks(graph: Graph, chunk_size: int) -> List[List[int]]:
 
 
 # ----------------------------------------------------------------------
-# the pool worker
-# ----------------------------------------------------------------------
-
-
-def _claim(
-    worker_id: int,
-    num_workers: int,
-    queues: Sequence[Sequence[int]],
-    counts,
-    rng: random.Random,
-) -> Tuple[Optional[int], bool]:
-    """Pop the next chunk id: own queue head first, else steal.
-
-    Stealing takes from the *tail* of a victim's queue (the classic
-    discipline: the owner drains its head, thieves bite the far end)
-    with the victim order drawn from the seeded per-worker RNG.
-    ``counts`` holds ``(head, tail)`` pairs per worker under one lock.
-    """
-    with counts.get_lock():
-        head, tail = counts[2 * worker_id], counts[2 * worker_id + 1]
-        if head < tail:
-            counts[2 * worker_id] = head + 1
-            return queues[worker_id][head], False
-        victims = [w for w in range(num_workers) if w != worker_id]
-        rng.shuffle(victims)
-        for victim in victims:
-            vhead, vtail = counts[2 * victim], counts[2 * victim + 1]
-            if vhead < vtail:
-                counts[2 * victim + 1] = vtail - 1
-                return queues[victim][vtail - 1], True
-    return None, False
-
-
-def _worker_main(
-    worker_id: int,
-    num_workers: int,
-    app_bytes: bytes,
-    graph_bytes: bytes,
-    backend: Optional[str],
-    chunks: List[List[int]],
-    queues: List[List[int]],
-    counts,
-    out_queue,
-) -> None:
-    """Pool-worker loop: unpickle once, then claim/steal until dry."""
-    try:
-        app = pickle.loads(app_bytes)
-        graph = pickle.loads(graph_bytes)
-        data_of = make_data_source(graph)
-        rng = random.Random(STEAL_SEED * 2654435761 + worker_id)
-        context = kernels.use_backend(backend) if backend else nullcontext()
-        with context:
-            while True:
-                chunk_id, stolen = _claim(
-                    worker_id, num_workers, queues, counts, rng
-                )
-                if chunk_id is None:
-                    break
-                outcome = execute_chunk(
-                    app, graph, chunk_id, chunks[chunk_id], data_of
-                )
-                out_queue.put(("chunk", outcome, stolen))
-        out_queue.put(("done", worker_id, None))
-    except BaseException:  # ship the traceback; never hang the parent
-        out_queue.put(("error", worker_id, traceback.format_exc()))
-
-
-# ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
 
@@ -174,67 +126,16 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _run_pooled(
-    app: GMinerApp,
-    graph: Graph,
-    chunks: List[List[int]],
-    backend: Optional[str],
-    num_workers: int,
-) -> Tuple[List[ChunkOutcome], int]:
-    """Fan the chunks out over ``num_workers`` processes."""
-    ctx = _pool_context()
-    queues: List[List[int]] = [[] for _ in range(num_workers)]
-    for chunk_id in range(len(chunks)):
-        queues[chunk_id % num_workers].append(chunk_id)
-    counts = ctx.Array(
-        "l", [x for queue in queues for x in (0, len(queue))], lock=True
-    )
-    out_queue = ctx.SimpleQueue()
-    app_bytes = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
-    graph_bytes = graph_payload(graph)
-    procs = [
-        ctx.Process(
-            target=_worker_main,
-            args=(
-                worker_id,
-                num_workers,
-                app_bytes,
-                graph_bytes,
-                backend,
-                chunks,
-                queues,
-                counts,
-                out_queue,
-            ),
-            daemon=True,
-        )
-        for worker_id in range(num_workers)
-    ]
-    for proc in procs:
-        proc.start()
-    outcomes: List[Optional[ChunkOutcome]] = [None] * len(chunks)
-    steals = 0
-    remaining = len(chunks)
-    live = num_workers
-    failure: Optional[str] = None
-    while (remaining > 0 or live > 0) and failure is None:
-        kind, payload, extra = out_queue.get()
-        if kind == "chunk":
-            outcomes[payload.chunk_id] = payload
-            steals += int(extra)
-            remaining -= 1
-        elif kind == "done":
-            live -= 1
-        else:  # "error"
-            failure = f"native worker {payload} died:\n{extra}"
-    if failure is not None:
-        for proc in procs:
-            proc.terminate()
-    for proc in procs:
-        proc.join()
-    if failure is not None:
-        raise RuntimeError(failure)
-    return outcomes, steals  # type: ignore[return-value]
+_ZERO_DIAG = {
+    "steals": 0,
+    "crashes": 0,
+    "hangs": 0,
+    "retries": 0,
+    "respawns": 0,
+    "chunk_errors": 0,
+    "leases_expired": 0,
+    "fallback_chunks": 0,
+}
 
 
 def run_native(
@@ -247,38 +148,107 @@ def run_native(
     """Execute ``app`` on ``graph`` for real; returns a JobResult.
 
     ``workers`` overrides ``config.native_workers`` (``None`` → every
-    host core).  The returned result mirrors the simulated one where
+    host core).  ``failure_plan`` accepts a
+    :class:`~repro.native.chaos.NativeFaultPlan` (real process-level
+    chaos, supervised and retried); simulated ``FailurePlan`` objects
+    are refused.  The returned result mirrors the simulated one where
     the quantity exists natively — ``value``, ``aggregated``,
     ``num_results``, ``stats["work_units"]``/``["tasks_created"]``/
     ``["rounds_executed"]`` — and records wall-clock time plus
-    schedule-dependent diagnostics under ``result.native``.  Simulated
+    schedule-dependent diagnostics (including the supervisor's
+    crash/retry/respawn tallies) under ``result.native``.  Simulated
     clock/network/memory fields stay at zero: native runs have no
     simulated timeline.
     """
     config = config or GMinerConfig()
+    fault_plan: Optional[NativeFaultPlan] = None
     if failure_plan is not None:
-        raise ValueError(
-            "native execution cannot run a failure_plan: fault injection "
-            "(link faults, reboots, checkpoint recovery) lives in the "
-            "simulated cluster — use execution='sim' for chaos runs "
-            "instead of letting native mode silently ignore the schedule"
-        )
+        if isinstance(failure_plan, NativeFaultPlan):
+            failure_plan.validate()
+            fault_plan = failure_plan
+        else:
+            raise ValueError(
+                "native execution cannot run a simulated failure_plan: "
+                "link faults, reboots and checkpoint recovery live in the "
+                "simulated cluster — use execution='sim' for those chaos "
+                "runs, or a repro.native.NativeFaultPlan to inject real "
+                "process-level faults (crashes, hangs, transient chunk "
+                "errors) into the native pool"
+            )
     num_workers = workers or config.native_workers or default_native_workers()
     backend = config.kernel_backend
+    chunk_deadline = (
+        config.native_chunk_deadline
+        if config.native_chunk_deadline is not None
+        else DEFAULT_CHUNK_DEADLINE
+    )
+    max_chunk_retries = (
+        config.native_max_chunk_retries
+        if config.native_max_chunk_retries is not None
+        else DEFAULT_MAX_CHUNK_RETRIES
+    )
+    max_respawns = (
+        config.native_max_respawns
+        if config.native_max_respawns is not None
+        else DEFAULT_MAX_RESPAWNS
+    )
+
+    collector = current_collector()
+    obs: Optional[ObsSession] = None
+    origin = time.perf_counter()
+    if config.enable_obs or collector is not None:
+        obs = ObsSession(
+            clock=lambda: time.perf_counter() - origin,
+            name=app.name,
+            span_capacity=config.obs_span_capacity,
+        )
+
     started = time.perf_counter()
     chunks = seed_chunks(graph, config.native_chunk_size)
     num_workers = max(1, min(num_workers, len(chunks) or 1))
-    steals = 0
-    if num_workers == 1:
+    diag: Dict[str, int] = dict(_ZERO_DIAG)
+    if obs is not None:
+        run_span = obs.tracer.begin(
+            "native.run", cat="native", tid=MASTER_TID, workers=num_workers
+        )
+    if (num_workers == 1 and fault_plan is None) or not chunks:
+        # fault-free single-process fast path: no pool, no supervision
+        # overhead — and the degenerate zero-chunk graph short-circuits
+        # here too (nothing to supervise)
         context = kernels.use_backend(backend) if backend else nullcontext()
         data_of = make_data_source(graph)
         with context:
-            outcomes = [
+            outcome_list = [
                 execute_chunk(app, graph, chunk_id, chunk, data_of)
                 for chunk_id, chunk in enumerate(chunks)
             ]
     else:
-        outcomes, steals = _run_pooled(app, graph, chunks, backend, num_workers)
+        ctx = _pool_context()
+        supervisor = Supervisor(
+            ctx=ctx,
+            app=app,
+            graph=graph,
+            app_bytes=pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL),
+            graph_bytes=graph_payload(graph),
+            backend=backend,
+            chunks=chunks,
+            num_workers=num_workers,
+            fault_plan=fault_plan,
+            chunk_deadline=chunk_deadline,
+            max_chunk_retries=max_chunk_retries,
+            max_respawns=max_respawns,
+            obs=obs,
+        )
+        if obs is not None:
+            supervise_span = obs.tracer.begin(
+                "native.supervise", cat="native", tid=MASTER_TID
+            )
+        try:
+            outcomes, diag = supervisor.run()
+        finally:
+            if obs is not None:
+                obs.tracer.finish(supervise_span)
+        outcome_list = [outcomes[chunk_id] for chunk_id in range(len(chunks))]
     wall_seconds = time.perf_counter() - started
 
     # deterministic reduction: chunk id (ascending seed id) order, never
@@ -288,7 +258,7 @@ def run_native(
     work_units = 0.0
     rounds = 0
     tasks_created = 0
-    for outcome in outcomes:
+    for outcome in outcome_list:
         results.extend(outcome.results)
         offers.extend(outcome.offers)
         work_units += outcome.work_units
@@ -319,8 +289,21 @@ def run_native(
         "execution": "native",
         "workers": num_workers,
         "chunk_size": config.native_chunk_size,
-        "steals": steals,
         "wall_seconds": wall_seconds,
         "backend": backend or kernels.get_backend(),
+        **diag,
     }
+    if obs is not None:
+        obs.tracer.finish(run_span)
+        gauge = obs.registry.gauge
+        gauge("native.wall_seconds").set(wall_seconds)
+        gauge("native.workers").set(float(num_workers))
+        gauge("job.tasks_created").set(float(tasks_created))
+        gauge("job.work_units").set(float(work_units))
+        result.obs = obs.finalize(
+            end=time.perf_counter() - origin,
+            meta={"app": app.name, "status": "ok", "execution": "native"},
+        )
+        if collector is not None:
+            collector.add_run(result.obs)
     return result

@@ -30,6 +30,16 @@ DESIGN.md's equivalence contract (value/aggregated always; raw value,
 workload; ``work_units`` additionally when the simulated cache never
 re-pulled).  A compiled tailed-triangle plan rides the same checks.
 
+With ``--native-chaos`` every case additionally runs the native engine
+under a seeded *survivable* :class:`~repro.native.NativeFaultPlan`
+(worker crashes, hangs, stragglers, transient chunk errors — derived
+deterministically from the case seed, bounded so the supervisor's
+retry/respawn budgets always cover it): the chaotic run must match the
+fault-free native run on the **full** result fingerprint (value,
+``num_results``, every stats entry — the determinism-under-crashes
+contract), must not raise, and the fault-free native leg must match
+the simulator per the equivalence contract.
+
 Any mismatch (or :class:`~repro.verify.InvariantViolation`) is shrunk
 by delta-debugging the vertex set (induced subgraphs) and simplifying
 the configuration, then persisted as a replayable JSON repro
@@ -69,6 +79,7 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 from repro.mining.clustering import FocusParams
 from repro.mining.community import CommunityParams
+from repro.native import NativeChunkError, NativeFaultPlan
 from repro.mining.patterns import PAPER_PATTERN
 from repro.plans import (
     PatternQuery,
@@ -261,18 +272,22 @@ def check_case(
     case: Dict[str, Any],
     plan_axis: Optional[bool] = None,
     native_axis: Optional[bool] = None,
+    native_chaos: Optional[bool] = None,
 ) -> List[str]:
     """Run the differential triad; return mismatch descriptions.
 
     ``plan_axis`` arms the plan-vs-legacy axis, ``native_axis`` the
-    sim-vs-native one; ``None`` (the default) reads the case's own
-    ``"plan_axis"``/``"native_axis"`` keys, so persisted repros replay
-    with their axes armed.
+    sim-vs-native one, ``native_chaos`` the native-under-faults one;
+    ``None`` (the default) reads the case's own
+    ``"plan_axis"``/``"native_axis"``/``"native_chaos"`` keys, so
+    persisted repros replay — and shrink — with their axes armed.
     """
     if plan_axis is None:
         plan_axis = bool(case.get("plan_axis", False))
     if native_axis is None:
         native_axis = bool(case.get("native_axis", False))
+    if native_chaos is None:
+        native_chaos = bool(case.get("native_chaos", False))
     workload = case["workload"]
     backend_a, backend_b = case["backends"]
     try:
@@ -308,6 +323,8 @@ def check_case(
         mismatches.extend(check_plan_axis(case, result_a.value))
     if native_axis:
         mismatches.extend(check_native_axis(case))
+    if native_chaos:
+        mismatches.extend(check_native_chaos_axis(case))
     return mismatches
 
 
@@ -456,6 +473,115 @@ def check_native_axis(case: Dict[str, Any]) -> List[str]:
                 "native axis [plan:tailed-triangle]", plan_sim, plan_native, None
             )
         )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# the native-chaos axis
+# ----------------------------------------------------------------------
+
+
+def chaos_plan_for_case(case: Dict[str, Any]) -> NativeFaultPlan:
+    """A seeded, *guaranteed-survivable* fault schedule for this case.
+
+    Derived deterministically from the case seed so replays inject the
+    identical chaos.  Survivability is by construction: crash/hang
+    specs target only the two original worker ids (at most two deaths,
+    covered by the respawn budget the chaotic run grants), injected
+    flaky failures never exceed the retry budget, and the random error
+    rate is low enough that the deterministic per-(chunk, attempt)
+    draws cannot realistically exhaust it.
+    """
+    rng = random.Random(case["seed"] * 7_919 + 5)
+    plan = NativeFaultPlan(seed=case["seed"])
+    if rng.random() < 0.6:
+        plan.crash(rng.randrange(2), on_claim=rng.randrange(2))
+    if rng.random() < 0.3:
+        plan.hang(rng.randrange(2), on_claim=rng.randrange(2))  # until deadline
+    elif rng.random() < 0.3:
+        plan.hang(rng.randrange(2), on_claim=rng.randrange(2), duration=0.03)
+    if rng.random() < 0.6:
+        plan.flaky_chunk(rng.randrange(4), failures=rng.randrange(1, 3))
+    if rng.random() < 0.3:
+        plan.random_chunk_errors(0.15)
+    if rng.random() < 0.3:
+        plan.slow(rng.randrange(2), delay=0.01)
+    if plan.empty:
+        plan.crash(0, on_claim=0)
+    return plan
+
+
+def run_native_chaos_case(case: Dict[str, Any], backend: str):
+    """One supervised native run under the case's seeded fault plan."""
+    graph = graph_from_case(case)
+    config = GMinerConfig(
+        execution="native",
+        native_workers=2,
+        native_chunk_size=16,
+        kernel_backend=backend,
+        # a tight lease so until-terminated hangs resolve in fuzz time,
+        # and budgets that provably cover chaos_plan_for_case's worst
+        # case (two targeted deaths, <=2 injected failures per chunk)
+        native_chunk_deadline=0.5,
+        native_max_chunk_retries=10,
+        native_max_respawns=2,
+    )
+    job = GMinerJob(_build_app(case, graph), graph, config, chaos_plan_for_case(case))
+    return job.run()
+
+
+def check_native_chaos_axis(case: Dict[str, Any]) -> List[str]:
+    """Native-under-faults vs fault-free native vs the simulator.
+
+    The determinism-under-crashes contract: a survivable fault
+    schedule must be *invisible* in the result — full fingerprint
+    (value, ``num_results``, every stats entry) identical to the
+    fault-free native run — and must never raise or hang.  The
+    fault-free native leg is additionally held to the sim equivalence
+    contract so the whole triangle closes.
+    """
+    mismatches: List[str] = []
+    pure = fault_free_case(case)
+    workload = case["workload"]
+    backend_a, _ = case["backends"]
+    clean = run_native_case(pure, 2, backend_a)
+    try:
+        chaotic = run_native_chaos_case(pure, backend_a)
+    except NativeChunkError as error:
+        return [
+            f"native chaos axis: survivable schedule was not survived: {error}"
+        ]
+    fp_clean, fp_chaotic = _fingerprint(clean), _fingerprint(chaotic)
+    if fp_clean != fp_chaotic:
+        diff = {
+            key: (fp_clean[key], fp_chaotic[key])
+            for key in fp_clean
+            if fp_clean[key] != fp_chaotic[key]
+        }
+        mismatches.append(
+            f"native chaos axis: chaotic run diverged from fault-free "
+            f"native run: {diff!r}"
+        )
+    if clean.aggregated != chaotic.aggregated:
+        mismatches.append(
+            f"native chaos axis: aggregated {clean.aggregated!r} != "
+            f"{chaotic.aggregated!r} under faults"
+        )
+    try:
+        sim = run_distributed(pure, backend_a)
+    except InvariantViolation as violation:
+        mismatches.append(
+            f"native chaos axis: sim leg invariant violation: {violation}"
+        )
+        return mismatches
+    if sim.status is not JobStatus.OK:
+        mismatches.append(
+            f"native chaos axis: sim leg did not complete: {sim.status.value}"
+        )
+        return mismatches
+    mismatches.extend(
+        _native_vs_sim(f"native chaos axis [{workload}]", sim, clean, workload)
+    )
     return mismatches
 
 
@@ -672,6 +798,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "(native-vs-native across worker counts and backends, "
              "native-vs-sim per the equivalence contract)",
     )
+    parser.add_argument(
+        "--native-chaos", action="store_true",
+        help="also run the native engine under a seeded survivable "
+             "NativeFaultPlan (crashes, hangs, transient chunk errors): "
+             "the chaotic run must match the fault-free native run on "
+             "the full fingerprint and never raise or hang",
+    )
     args = parser.parse_args(argv)
     if args.replay:
         return replay(args.replay)
@@ -685,6 +818,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             case["plan_axis"] = True
         if args.native_axis:
             case["native_axis"] = True
+        if args.native_chaos:
+            # like the other axes: recorded on the case itself so the
+            # shrinker's dict copies and --replay keep the chaos armed
+            case["native_chaos"] = True
         mismatches = check_case(case)
         tag = (
             f"[{iteration + 1}/{args.iterations}] seed={case_seed} "

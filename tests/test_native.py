@@ -19,6 +19,8 @@ Three families of guarantees:
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -44,7 +46,12 @@ from repro.verify.metamorphic import normalize_value
 
 from .conftest import make_clustered_graph
 
-WORKER_COUNTS = (1, 2, 4)
+#: Worker counts the equivalence tests sweep.  ``REPRO_NATIVE_TEST_WORKERS``
+#: overrides (comma-separated), so CI can pin the multi-process axis
+#: (e.g. ``2``) to what its runner actually has cores for.
+WORKER_COUNTS = tuple(
+    int(w) for w in os.environ["REPRO_NATIVE_TEST_WORKERS"].split(",")
+) if os.environ.get("REPRO_NATIVE_TEST_WORKERS") else (1, 2, 4)
 #: Small chunks so even the test graphs exercise stealing at 2+ workers.
 CHUNK = 16
 
@@ -181,10 +188,17 @@ def test_native_diagnostics_live_outside_stats():
     assert set(result.native) == {
         "execution", "workers", "chunk_size", "steals", "wall_seconds",
         "backend",
+        # supervision tallies (PR 8): all zero on a fault-free run, and
+        # kept out of stats so stats stay byte-comparable under chaos
+        "crashes", "hangs", "retries", "respawns", "chunk_errors",
+        "leases_expired", "fallback_chunks",
     }
     assert result.native["workers"] == 2
     assert "wall_seconds" not in result.stats
     assert result.to_dict()["native"]["chunk_size"] == CHUNK
+    for key in ("crashes", "hangs", "retries", "respawns", "chunk_errors",
+                "leases_expired", "fallback_chunks"):
+        assert result.native[key] == 0, key
 
 
 def test_build_cache_hit_on_second_native_run():
@@ -211,6 +225,108 @@ def test_seed_chunks_cover_every_vertex_once():
     flat = [vid for chunk in chunks for vid in chunk]
     assert flat == sorted(graph.vertices())
     assert all(len(chunk) <= 16 for chunk in chunks)
+
+
+# ----------------------------------------------------------------------
+# pool edge cases
+# ----------------------------------------------------------------------
+
+
+def test_zero_seed_graph():
+    """A graph with no vertices at all: nothing to chunk, no pool."""
+    from repro.graph.graph import Graph
+
+    graph = Graph.from_edges([], vertices=[])
+    result = _native(TriangleCountingApp, graph, 4)
+    assert result.status is JobStatus.OK
+    assert result.value is None
+    assert result.num_results == 0
+    assert result.stats["native_chunks"] == 0
+    assert result.native["workers"] == 1  # clamped: no chunks to fan out
+
+
+def test_edgeless_graph_produces_empty_results():
+    from repro.graph.graph import Graph
+
+    graph = Graph.from_edges([], vertices=list(range(40)))
+    result = _native(TriangleCountingApp, graph, 2)
+    assert result.status is JobStatus.OK
+    assert result.value is None
+    assert result.num_results == 0
+    assert result.stats["native_chunks"] == 3  # 40 vertices / CHUNK
+
+
+def test_fewer_chunks_than_workers_clamps_pool():
+    graph = make_clustered_graph(n=24)  # 24 vertices -> 2 chunks of 16
+    chunks = seed_chunks(graph, CHUNK)
+    assert 1 < len(chunks) < 8
+    clamped = _native(TriangleCountingApp, graph, 8)
+    serial = _native(TriangleCountingApp, graph, 1)
+    assert clamped.native["workers"] == len(chunks)
+    assert _comparable_dict(clamped) == _comparable_dict(serial)
+
+
+def test_stolen_chunk_failure_retried_exactly_once():
+    """Lease-owner accounting under steal-then-fail.
+
+    Worker 0 is made a straggler, so worker 1 drains its own queue and
+    steals from worker 0's tail — including the flaky chunk (the tail
+    of slot 0's round-robin queue).  The lease follows the *thief*, so
+    the thief's transient failure charges the chunk exactly one attempt
+    and it is retried exactly once, with the final result bit-identical
+    to the fault-free run.
+    """
+    from repro.native import NativeFaultPlan
+
+    graph = make_clustered_graph()
+    chunks = seed_chunks(graph, 8)
+    flaky = len(chunks) - 1 if (len(chunks) - 1) % 2 == 0 else len(chunks) - 2
+    assert flaky % 2 == 0  # lives in slot 0's queue (round-robin)
+    plan = (
+        NativeFaultPlan(seed=3)
+        .slow(0, delay=0.15)
+        .flaky_chunk(flaky, failures=1)
+    )
+    config = GMinerConfig(
+        execution="native", native_workers=2, native_chunk_size=8
+    )
+    chaotic = GMinerJob(TriangleCountingApp(), graph, config, plan).run()
+    clean = GMinerJob(TriangleCountingApp(), graph, config).run()
+    assert chaotic.native["steals"] >= 1
+    assert chaotic.native["chunk_errors"] == 1
+    assert chaotic.native["retries"] == 1
+    assert chaotic.native["crashes"] == 0
+    assert _comparable_dict(chaotic) == _comparable_dict(clean)
+
+
+def test_failed_run_leaves_no_live_children(monkeypatch):
+    """Shutdown hygiene: an interrupt mid-run terminates and joins the
+    whole pool — no orphan workers, no leaked queue feeder threads."""
+    from repro.native.supervisor import Supervisor
+
+    original = Supervisor._dispatch_retries
+    calls = {"n": 0}
+
+    def interrupt(self):
+        calls["n"] += 1
+        if calls["n"] >= 2:  # let the pool actually start first
+            raise KeyboardInterrupt
+        return original(self)
+
+    monkeypatch.setattr(Supervisor, "_dispatch_retries", interrupt)
+    graph = make_clustered_graph()
+    # a straggler pool so the run is still in flight when we interrupt
+    from repro.native import NativeFaultPlan
+
+    plan = NativeFaultPlan(seed=1).slow(delay=0.2)
+    config = GMinerConfig(
+        execution="native", native_workers=2, native_chunk_size=8
+    )
+    with pytest.raises(KeyboardInterrupt):
+        GMinerJob(TriangleCountingApp(), graph, config, plan).run()
+    for child in multiprocessing.active_children():
+        child.join(timeout=5.0)
+    assert multiprocessing.active_children() == []
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +357,34 @@ def test_config_validation():
         GMinerConfig(native_workers=0)
     with pytest.raises(ValueError, match="native_chunk_size"):
         GMinerConfig(native_chunk_size=0)
+
+
+def test_supervision_knobs_validation():
+    # the supervision knobs are native-only: setting them on a
+    # simulated job fails fast at construction
+    with pytest.raises(ValueError, match="native_chunk_deadline"):
+        GMinerConfig(native_chunk_deadline=5.0)
+    with pytest.raises(ValueError, match="native_max_chunk_retries"):
+        GMinerConfig(native_max_chunk_retries=3)
+    with pytest.raises(ValueError, match="native_max_respawns"):
+        GMinerConfig(native_max_respawns=1)
+    # and nonsense values fail even under execution="native"
+    with pytest.raises(ValueError, match="native_chunk_deadline"):
+        GMinerConfig(execution="native", native_chunk_deadline=0.0)
+    with pytest.raises(ValueError, match="native_chunk_deadline"):
+        GMinerConfig(execution="native", native_chunk_deadline=float("inf"))
+    with pytest.raises(ValueError, match="native_max_chunk_retries"):
+        GMinerConfig(execution="native", native_max_chunk_retries=-1)
+    with pytest.raises(ValueError, match="native_max_respawns"):
+        GMinerConfig(execution="native", native_max_respawns=-1)
+    # the happy path constructs (0 is a legal bound for both budgets)
+    config = GMinerConfig(
+        execution="native",
+        native_chunk_deadline=30.0,
+        native_max_chunk_retries=0,
+        native_max_respawns=0,
+    )
+    assert config.native_chunk_deadline == 30.0
 
 
 def test_auto_backend_leaves_explicit_backends_unchanged(small_social_graph):
